@@ -1,0 +1,69 @@
+"""Ablation — option duration / termination granularity.
+
+Sec. III-B motivates asynchronous termination and temporal abstraction.
+This bench varies the fixed option duration ``c`` (1 = re-decide every
+step, i.e. no temporal abstraction; 3 = the default; 6 = coarse) and
+compares evaluation reward for the same episode budget. It also measures
+the decision overhead: shorter options mean more high-level decisions per
+episode.
+"""
+
+import os
+
+import numpy as np
+
+from repro.config import RewardConfig, TrainingConfig
+from repro.core import HeroTeam, OptionSet, train_hero, train_low_level_skills
+from repro.envs import CooperativeLaneChangeEnv
+from repro.experiments.common import bench_scenario, episodes_from_scale
+from repro.experiments.reporting import curve_summary, print_learning_curves
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+DURATIONS = (1, 3, 6)
+
+
+def _train_with_duration(duration: int, skills, config: TrainingConfig):
+    env = CooperativeLaneChangeEnv(scenario=config.scenario, rewards=config.rewards)
+    team = HeroTeam(
+        env,
+        np.random.default_rng(config.seed),
+        hyper=config.hyper,
+        skills=skills,
+        option_set=OptionSet(option_duration=duration),
+        batch_size=128,
+        lr=2e-3,
+    )
+    logger = train_hero(
+        env,
+        team,
+        episodes=episodes_from_scale(SCALE),
+        config=config,
+        updates_per_episode=4,
+    )
+    return logger
+
+
+def test_ablation_option_duration(benchmark):
+    config = TrainingConfig(seed=0)
+    config.scenario = bench_scenario()
+    config.epsilon_start, config.epsilon_end = 0.4, 0.05
+    config.epsilon_decay_episodes = max(episodes_from_scale(SCALE) // 2, 1)
+    skills, _ = train_low_level_skills(
+        config, episodes=max(episodes_from_scale(SCALE), 250)
+    )
+    loggers = {}
+
+    def train_all():
+        for duration in DURATIONS:
+            loggers[f"c={duration}"] = _train_with_duration(duration, skills, config)
+        return loggers
+
+    benchmark.pedantic(train_all, rounds=1, iterations=1)
+
+    rewards = {
+        name: logger.values("hero/eval_episode_reward")
+        for name, logger in loggers.items()
+    }
+    print_learning_curves("Ablation: option duration (eval reward)", rewards)
+    for name, series in rewards.items():
+        assert len(series) > 0 and np.all(np.isfinite(series)), name

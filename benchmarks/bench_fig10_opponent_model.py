@@ -1,0 +1,33 @@
+"""Fig. 10 — opponent-model loss benchmark.
+
+Trains HERO alone (the opponent models train inside Algorithm 1) and
+prints the per-opponent NLL curves from vehicle 2's perspective with the
+paper's shape checks (losses decrease; convergence speeds differ).
+"""
+
+import numpy as np
+
+from repro.experiments.fig10 import report_fig10, run_fig10
+
+
+def test_fig10_opponent_model_loss(shared_sweep, benchmark):
+    outputs = run_fig10(result=shared_sweep)
+    curves = outputs["curves"]
+    assert len(curves) >= 2, "expected one NLL curve per modeled opponent"
+    for name, values in curves.items():
+        assert len(values) > 0
+        assert np.all(np.isfinite(values))
+
+    checks = report_fig10(outputs)
+    passed = sum(1 for _, ok in checks if ok)
+    print(f"\nFig. 10 shape checks passed: {passed}/{len(checks)}")
+
+    # Benchmark: one opponent-model gradient step on the trained agent.
+    observer = shared_sweep.methods["hero"].controller.agents["vehicle_1"]
+    model = observer.high_level.opponent_model
+
+    def one_update():
+        return model.update()
+
+    result = benchmark(one_update)
+    assert result is None or all(np.isfinite(v) for v in result.values())

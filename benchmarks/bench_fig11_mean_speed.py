@@ -1,0 +1,22 @@
+"""Fig. 11 — mean-speed benchmark for the trained policies."""
+
+import numpy as np
+
+from repro.experiments.fig11 import report_fig11, run_fig11
+
+
+def test_fig11_mean_speed(shared_sweep, benchmark):
+    outputs = benchmark.pedantic(
+        run_fig11,
+        kwargs={"result": shared_sweep, "eval_episodes": 5},
+        rounds=1,
+        iterations=1,
+    )
+    speeds = outputs["mean_speed"]
+    assert set(speeds) == set(shared_sweep.methods)
+    for method, speed in speeds.items():
+        assert np.isfinite(speed) and speed >= 0.0, f"{method} speed invalid"
+
+    checks = report_fig11(outputs)
+    passed = sum(1 for _, ok in checks if ok)
+    print(f"\nFig. 11 shape checks passed: {passed}/{len(checks)}")

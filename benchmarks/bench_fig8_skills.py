@@ -1,0 +1,31 @@
+"""Fig. 8 — low-level skill training benchmark (lane keeping, lane change).
+
+Measures one full Algorithm-2 skill-training run at a documented scale and
+prints the two reward curves with the paper's shape checks (both converge;
+lane change has an exploration phase before take-off).
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.fig8 import report_fig8, run_fig8
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE_FIG8", "0.02"))
+
+
+def test_fig8_skill_training(benchmark):
+    outputs = benchmark.pedantic(
+        run_fig8, kwargs={"scale": SCALE, "seed": 0}, rounds=1, iterations=1
+    )
+    keeping = outputs["a_lane_keeping"]
+    change = outputs["b_lane_change"]
+    assert len(keeping) > 0 and len(change) > 0
+    assert np.all(np.isfinite(keeping)) and np.all(np.isfinite(change))
+
+    checks = report_fig8(outputs)
+    passed = sum(1 for _, ok in checks if ok)
+    print(f"\nFig. 8 shape checks passed: {passed}/{len(checks)}")
+    # Convergence of the skills is required at any scale — they are the
+    # substrate for every other experiment.
+    assert keeping[-max(len(keeping) // 3, 1):].mean() > keeping[: max(len(keeping) // 3, 1)].mean()

@@ -1,0 +1,97 @@
+"""Opponent-modeling demo (Sec. III-C / Fig. 10).
+
+Trains HERO briefly, then compares each agent's opponent-model predictions
+against the options the other agents actually executed on fresh episodes:
+prediction accuracy well above the 25% uniform baseline demonstrates that
+the decentralized agents really learned each other's policies from
+observed histories alone.
+
+Usage::
+
+    python examples/opponent_modeling_demo.py --episodes 300
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.core import HeroTeam, train_hero, train_low_level_skills
+from repro.core.options import OPTION_NAMES
+from repro.envs import CooperativeLaneChangeEnv
+from repro.experiments.common import bench_scenario
+
+
+def prediction_accuracy(env, team, episodes: int, seed: int) -> dict[str, float]:
+    """Greedy rollouts; score each agent's per-step opponent predictions."""
+    rng = np.random.default_rng(seed)
+    hits = {agent: 0 for agent in env.agents}
+    totals = {agent: 0 for agent in env.agents}
+    for _ in range(episodes):
+        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+        team.start_episode()
+        done = False
+        while not done:
+            actions = team.act(obs, epsilon=0.0, explore=False)
+            for agent in env.agents:
+                hero = team.agents[agent]
+                state = CooperativeLaneChangeEnv.flatten_high(obs[agent])
+                predicted = hero.high_level.opponent_model.most_likely(state)
+                actual = team._options_of_others(agent)
+                hits[agent] += int((predicted == actual).sum())
+                totals[agent] += len(actual)
+            obs, _, dones, _ = env.step(actions)
+            done = dones["__all__"]
+    return {agent: hits[agent] / max(totals[agent], 1) for agent in env.agents}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=300)
+    parser.add_argument("--skill-episodes", type=int, default=250)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = TrainingConfig(seed=args.seed)
+    config.scenario = bench_scenario()
+    config.epsilon_decay_episodes = max(args.episodes // 2, 1)
+
+    skills, _ = train_low_level_skills(config, episodes=args.skill_episodes)
+    env = CooperativeLaneChangeEnv(scenario=config.scenario, rewards=config.rewards)
+    team = HeroTeam(
+        env, np.random.default_rng(args.seed), hyper=config.hyper,
+        skills=skills, batch_size=128, lr=2e-3,
+    )
+    logger = train_hero(
+        env, team, episodes=args.episodes, config=config, updates_per_episode=4
+    )
+
+    print("\nOpponent-model NLL (vehicle 2's perspective, Fig. 10):")
+    for name in logger.names():
+        if name.startswith("hero/vehicle_1/opponent_") and name.endswith("_nll"):
+            values = logger.values(name)
+            print(f"  {name}: first={values[0]:.3f} last={values[-1]:.3f}")
+
+    print("\nPrediction accuracy on fresh greedy episodes (uniform = 0.25):")
+    accuracy = prediction_accuracy(env, team, episodes=10, seed=args.seed + 99)
+    for agent, acc in accuracy.items():
+        print(f"  {agent}: {acc:.2%}")
+
+    print("\nSample greedy episode with option traces:")
+    obs = env.reset(seed=args.seed + 7)
+    team.start_episode()
+    done = False
+    traces = {agent: [] for agent in env.agents}
+    while not done:
+        actions = team.act(obs, epsilon=0.0, explore=False)
+        for agent in env.agents:
+            traces[agent].append(OPTION_NAMES[team.agents[agent].current_option])
+        obs, _, dones, info = env.step(actions)
+        done = dones["__all__"]
+    for agent, trace in traces.items():
+        print(f"  {agent}: {' '.join(t[:4] for t in trace[:15])}")
+    print(f"  outcome: {info['episode']}")
+
+
+if __name__ == "__main__":
+    main()

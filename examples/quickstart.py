@@ -1,0 +1,63 @@
+"""Quickstart: train HERO on cooperative lane change in a few minutes.
+
+Runs the paper's two training stages at a small scale and prints the four
+evaluation metrics (Sec. V-B). Scale everything up with ``--episodes`` /
+``--skill-episodes`` (the paper uses 14,000).
+
+Usage::
+
+    python examples/quickstart.py [--episodes 300] [--skill-episodes 250]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.core import HeroTeam, train_hero, train_low_level_skills
+from repro.core.trainer import evaluate_hero
+from repro.envs import CooperativeLaneChangeEnv
+from repro.experiments.common import bench_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=300)
+    parser.add_argument("--skill-episodes", type=int, default=250)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = TrainingConfig(seed=args.seed)
+    config.scenario = bench_scenario()
+    config.epsilon_start, config.epsilon_end = 0.4, 0.05
+    config.epsilon_decay_episodes = max(args.episodes // 2, 1)
+
+    print("== Stage 1 (Algorithm 2): training low-level skills with SAC ==")
+    skills, skill_log = train_low_level_skills(config, episodes=args.skill_episodes)
+    print(
+        f"lane keeping final reward:  {skill_log.window_mean('lane_keeping/episode_reward', 20):.2f}"
+    )
+    print(
+        f"lane change  final reward:  {skill_log.window_mean('lane_change/episode_reward', 20):.2f}"
+    )
+
+    print("\n== Stage 2 (Algorithm 1): training the cooperative strategy ==")
+    env = CooperativeLaneChangeEnv(scenario=config.scenario, rewards=config.rewards)
+    team = HeroTeam(
+        env, np.random.default_rng(args.seed), hyper=config.hyper,
+        skills=skills, batch_size=128, lr=2e-3,
+    )
+    logger = train_hero(
+        env, team, episodes=args.episodes, config=config, updates_per_episode=4
+    )
+    print(f"final eval reward:    {logger.latest('hero/eval_episode_reward'):.2f}")
+    print(f"final eval collision: {logger.latest('hero/eval_collision_rate'):.2f}")
+
+    print("\n== Greedy evaluation (20 episodes) ==")
+    metrics = evaluate_hero(env, team, episodes=20, seed=args.seed + 1)
+    for name, value in metrics.items():
+        print(f"  {name:18s} {value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

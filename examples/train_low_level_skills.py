@@ -1,0 +1,54 @@
+"""Train the low-level driving skills (Algorithm 2 / Fig. 8).
+
+Trains the two SAC skills with their intrinsic reward functions and prints
+the learning curves in the early/mid/late format. Trained weights can be
+saved and reused by the other examples.
+
+Usage::
+
+    python examples/train_low_level_skills.py --episodes 400 --save skills.npz
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.core import train_low_level_skills
+from repro.experiments.common import bench_scenario
+from repro.experiments.reporting import curve_summary, print_learning_curves
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", type=str, default=None, help="path for .npz weights")
+    args = parser.parse_args()
+
+    config = TrainingConfig(seed=args.seed)
+    config.scenario = bench_scenario()
+    skills, logger = train_low_level_skills(config, episodes=args.episodes)
+
+    print_learning_curves(
+        "Fig. 8(a) lane keeping",
+        {"sac": logger.values("lane_keeping/episode_reward")},
+    )
+    print_learning_curves(
+        "Fig. 8(b) lane change",
+        {"sac": logger.values("lane_change/episode_reward")},
+    )
+
+    change = curve_summary(logger.values("lane_change/episode_reward"))
+    print(
+        f"\nlane-change exploration phase: early={change['early']:.2f} "
+        f"-> final={change['final']:.2f}"
+    )
+
+    if args.save:
+        np.savez(args.save, **skills.state_dict())
+        print(f"saved skill weights to {args.save}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build a wheel.
+This shim keeps the legacy ``setup.py develop`` path working; metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

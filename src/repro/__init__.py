@@ -1,0 +1,43 @@
+"""HERO reproduction: Hierarchical RL with Opponent Modeling (ICDCS 2022).
+
+Public API layers:
+
+* :mod:`repro.nn` — numpy autodiff + neural networks (framework substrate)
+* :mod:`repro.envs` — multi-vehicle driving simulator (Gazebo substitute)
+* :mod:`repro.core` — HERO: options, SAC skills, opponent modeling, trainers
+* :mod:`repro.baselines` — IDQN / COMA / MADDPG / MAAC
+* :mod:`repro.distributed` — message bus, agent nodes, parameter server
+* :mod:`repro.experiments` — one harness per paper table/figure
+
+Quickstart::
+
+    from repro.config import TrainingConfig
+    from repro.core import train_low_level_skills, HeroTeam, train_hero
+    from repro.envs import CooperativeLaneChangeEnv
+    import numpy as np
+
+    config = TrainingConfig(seed=0)
+    skills, _ = train_low_level_skills(config, episodes=100)
+    env = CooperativeLaneChangeEnv()
+    team = HeroTeam(env, np.random.default_rng(0), skills=skills)
+    train_hero(env, team, episodes=500, config=config)
+"""
+
+from .config import (
+    PaperHyperparameters,
+    RewardConfig,
+    ScenarioConfig,
+    TestbedConfig,
+    TrainingConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PaperHyperparameters",
+    "RewardConfig",
+    "ScenarioConfig",
+    "TestbedConfig",
+    "TrainingConfig",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""End-to-end MARL baselines from the paper's evaluation (Sec. V-A)."""
+
+from .base import MARLAlgorithm, evaluate_marl, train_marl
+from .coma import COMA
+from .idqn import IndependentDQN
+from .maac import MAAC, AttentionCritic
+from .maddpg import MADDPG
+from .registry import BASELINES, make_baseline
+
+__all__ = [
+    "AttentionCritic",
+    "BASELINES",
+    "COMA",
+    "IndependentDQN",
+    "MAAC",
+    "MADDPG",
+    "MARLAlgorithm",
+    "evaluate_marl",
+    "make_baseline",
+    "train_marl",
+]

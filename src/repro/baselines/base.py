@@ -1,0 +1,157 @@
+"""Common interface for the end-to-end MARL baselines (Sec. V-A).
+
+All four baselines act on the *flattened, discretised* environment stack
+(:func:`repro.envs.make_baseline_env`): per-agent flat observations and a
+discrete grid of primitive (linear, angular) commands. HERO's advantage in
+the paper comes precisely from not having to learn in that flat space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.logging_utils import MetricLogger
+from ..utils.schedule import LinearSchedule
+
+
+class MARLAlgorithm:
+    """Interface every baseline implements."""
+
+    name: str = "base"
+
+    def __init__(self, agent_ids: list[str], obs_dim: int, num_actions: int):
+        self.agent_ids = list(agent_ids)
+        self.obs_dim = obs_dim
+        self.num_actions = num_actions
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.agent_ids)
+
+    def act(
+        self, observations: dict[str, np.ndarray], explore: bool = True
+    ) -> dict[str, int]:
+        raise NotImplementedError
+
+    def observe(
+        self,
+        observations: dict[str, np.ndarray],
+        actions: dict[str, int],
+        rewards: dict[str, float],
+        next_observations: dict[str, np.ndarray],
+        dones: dict[str, bool],
+    ) -> None:
+        raise NotImplementedError
+
+    def update(self) -> dict[str, float] | None:
+        raise NotImplementedError
+
+    def end_episode(self) -> None:
+        """Hook for on-policy methods (COMA) to consume the episode."""
+
+    # Convenience used by every subclass.
+    def _stack(self, observations: dict[str, np.ndarray]) -> np.ndarray:
+        return np.stack([observations[a] for a in self.agent_ids])
+
+
+def train_marl(
+    env,
+    algorithm: MARLAlgorithm,
+    episodes: int,
+    seed: int = 0,
+    epsilon_start: float = 1.0,
+    epsilon_end: float = 0.05,
+    epsilon_decay_episodes: int | None = None,
+    updates_per_episode: int = 1,
+    logger: MetricLogger | None = None,
+    metric_prefix: str | None = None,
+    eval_every: int | None = None,
+    eval_episodes: int = 3,
+) -> MetricLogger:
+    """Generic training loop recording the paper's four metrics.
+
+    Works for both off-policy (per-episode batched updates) and on-policy
+    (the ``end_episode`` hook) baselines. ``eval_every`` (default:
+    episodes // 40) interleaves short greedy evaluations, logged under
+    ``{prefix}/eval_*`` — the exploration-free curves Fig. 7 plots.
+    """
+    logger = logger or MetricLogger()
+    prefix = metric_prefix or algorithm.name
+    rng = np.random.default_rng(seed)
+    epsilon_schedule = LinearSchedule(
+        epsilon_start, epsilon_end, epsilon_decay_episodes or max(episodes // 2, 1)
+    )
+    if eval_every is None:
+        eval_every = max(episodes // 40, 1)
+    for episode in range(episodes):
+        epsilon = epsilon_schedule(episode)
+        if hasattr(algorithm, "epsilon"):
+            algorithm.epsilon = epsilon
+        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+        done = False
+        info: dict = {}
+        while not done:
+            actions = algorithm.act(obs, explore=True)
+            next_obs, rewards, dones, info = env.step(actions)
+            algorithm.observe(obs, actions, rewards, next_obs, dones)
+            obs = next_obs
+            done = dones["__all__"]
+        algorithm.end_episode()
+        for _ in range(updates_per_episode):
+            losses = algorithm.update()
+
+        summary = info["episode"]
+        logger.log_many(
+            {
+                f"{prefix}/episode_reward": summary["episode_reward"],
+                f"{prefix}/collision_rate": summary["collision"],
+                f"{prefix}/merge_success_rate": summary["merge_success_rate"],
+                f"{prefix}/mean_speed": summary["mean_speed"],
+            },
+            episode,
+        )
+        if losses:
+            for name, value in losses.items():
+                logger.log(f"{prefix}/{name}", value, episode)
+
+        if eval_every and (episode % eval_every == 0 or episode == episodes - 1):
+            eval_metrics = evaluate_marl(
+                env, algorithm, episodes=eval_episodes, seed=seed + 500 + episode
+            )
+            logger.log_many(
+                {
+                    f"{prefix}/eval_episode_reward": eval_metrics["episode_reward"],
+                    f"{prefix}/eval_collision_rate": eval_metrics["collision_rate"],
+                    f"{prefix}/eval_merge_success_rate": eval_metrics["success_rate"],
+                    f"{prefix}/eval_mean_speed": eval_metrics["mean_speed"],
+                },
+                episode,
+            )
+    return logger
+
+
+def evaluate_marl(
+    env, algorithm: MARLAlgorithm, episodes: int, seed: int = 0
+) -> dict[str, float]:
+    """Greedy evaluation with the paper's Table II metrics."""
+    rng = np.random.default_rng(seed)
+    rewards, collisions, successes, speeds = [], [], [], []
+    for _ in range(episodes):
+        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+        done = False
+        info: dict = {}
+        while not done:
+            actions = algorithm.act(obs, explore=False)
+            obs, _, dones, info = env.step(actions)
+            done = dones["__all__"]
+        summary = info["episode"]
+        rewards.append(summary["episode_reward"])
+        collisions.append(summary["collision"])
+        successes.append(summary["merge_success_rate"])
+        speeds.append(summary["mean_speed"])
+    return {
+        "episode_reward": float(np.mean(rewards)),
+        "collision_rate": float(np.mean(collisions)),
+        "success_rate": float(np.mean(successes)),
+        "mean_speed": float(np.mean(speeds)),
+    }

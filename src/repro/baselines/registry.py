@@ -1,0 +1,38 @@
+"""Baseline factory used by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..envs.wrappers import DiscreteActionWrapper
+from .base import MARLAlgorithm
+from .coma import COMA
+from .idqn import IndependentDQN
+from .maac import MAAC
+from .maddpg import MADDPG
+
+BASELINES = {
+    "idqn": IndependentDQN,
+    "coma": COMA,
+    "maddpg": MADDPG,
+    "maac": MAAC,
+}
+
+
+def make_baseline(
+    name: str,
+    env: DiscreteActionWrapper,
+    seed: int = 0,
+    **kwargs,
+) -> MARLAlgorithm:
+    """Instantiate a baseline sized for the given discrete env stack."""
+    if name not in BASELINES:
+        raise ValueError(f"unknown baseline {name!r}; options: {sorted(BASELINES)}")
+    obs_dim = env.env.obs_dim  # DiscreteActionWrapper wraps the flatten wrapper
+    return BASELINES[name](
+        agent_ids=list(env.agents),
+        obs_dim=obs_dim,
+        num_actions=env.num_actions,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )

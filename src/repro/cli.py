@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands::
+
+    python -m repro list                         # registered experiments
+    python -m repro run fig7 --scale 0.02        # run one experiment
+    python -m repro run-all --scale 0.01         # run every experiment
+    python -m repro watch --seed 3               # render a scripted episode
+
+The ``run`` command is the same harness the benchmarks call; it prints the
+paper-style tables/curves and the [OK]/[MISS] shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from .experiments import EXPERIMENTS
+
+    print(f"{'id':8s} {'workload':45s} title")
+    for exp_id, experiment in sorted(EXPERIMENTS.items()):
+        print(f"{exp_id:8s} {experiment.workload:45s} {experiment.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import run_experiment
+
+    run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    return 0
+
+
+def _cmd_run_all(args) -> int:
+    from .experiments import EXPERIMENTS, run_experiment
+
+    for exp_id in sorted(EXPERIMENTS):
+        print(f"\n######## {exp_id} ########")
+        run_experiment(exp_id, scale=args.scale, seed=args.seed)
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Render one episode of the scripted cooperative plan as ASCII frames."""
+    from .envs import (
+        CooperativeLaneChangeEnv,
+        lane_change_command,
+        lane_keep_command,
+    )
+    from .envs.render import print_episode
+    from .experiments.common import bench_scenario
+
+    env = CooperativeLaneChangeEnv(scenario=bench_scenario())
+
+    def scripted_policy(observations):
+        actions = {}
+        for i, agent in enumerate(env.agents):
+            vehicle = env.vehicle(agent)
+            if i == 0 and env._t >= 1 and vehicle.lane_id == 0:
+                actions[agent] = lane_change_command(vehicle, 1, 0.15, 0.2)
+            elif i == 0:
+                actions[agent] = lane_keep_command(vehicle, 0.1)
+            else:
+                actions[agent] = lane_keep_command(vehicle, 0.06)
+        return actions
+
+    print_episode(env, scripted_policy, seed=args.seed, every=args.every)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment harness")
+    run.add_argument("experiment", help="fig7 | fig8 | fig10 | fig11 | table2")
+    run.add_argument("--scale", type=float, default=0.01)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run every experiment harness")
+    run_all.add_argument("--scale", type=float, default=0.01)
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.set_defaults(func=_cmd_run_all)
+
+    watch = sub.add_parser("watch", help="render a scripted episode as ASCII")
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--every", type=int, default=5)
+    watch.set_defaults(func=_cmd_watch)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""HERO: the paper's primary contribution.
+
+Hierarchical reinforcement learning with high-level option selection,
+opponent modeling, and low-level SAC skills.
+"""
+
+from .hero import HeroAgent, HeroTeam
+from .high_level import HighLevelAgent
+from .low_level import SACAgent, SkillLibrary, train_skill
+from .opponent_model import OpponentModel, WindowedOpponentModel
+from .options import (
+    ACCELERATE,
+    KEEP_LANE,
+    LANE_CHANGE,
+    OPTION_NAMES,
+    SLOW_DOWN,
+    Option,
+    OptionContext,
+    OptionExecutor,
+    OptionSet,
+)
+from .trainer import evaluate_hero, train_hero, train_low_level_skills
+from .vision import VisionEncoder, VisionSACAgent, train_vision_skill
+
+__all__ = [
+    "ACCELERATE",
+    "HeroAgent",
+    "HeroTeam",
+    "HighLevelAgent",
+    "KEEP_LANE",
+    "LANE_CHANGE",
+    "OPTION_NAMES",
+    "OpponentModel",
+    "VisionEncoder",
+    "VisionSACAgent",
+    "WindowedOpponentModel",
+    "Option",
+    "OptionContext",
+    "OptionExecutor",
+    "OptionSet",
+    "SACAgent",
+    "SLOW_DOWN",
+    "SkillLibrary",
+    "evaluate_hero",
+    "train_hero",
+    "train_low_level_skills",
+    "train_skill",
+    "train_vision_skill",
+]

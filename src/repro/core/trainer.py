@@ -1,0 +1,184 @@
+"""Training loops for HERO (Algorithms 1 and 2 of the paper).
+
+:func:`train_low_level_skills` runs Algorithm 2 for both skills;
+:func:`train_hero` runs Algorithm 1 on the cooperative lane-change game,
+recording the paper's four evaluation metrics per episode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..envs.lane_change_env import CooperativeLaneChangeEnv
+from ..envs.skill_envs import LaneChangeEnv, LaneKeepingEnv, low_level_obs_dim
+from ..utils.logging_utils import MetricLogger
+from ..utils.schedule import LinearSchedule
+from .hero import HeroTeam
+from .low_level import SkillLibrary, train_skill
+
+
+def train_low_level_skills(
+    config: TrainingConfig,
+    episodes: int,
+    skills: SkillLibrary | None = None,
+    logger: MetricLogger | None = None,
+) -> tuple[SkillLibrary, MetricLogger]:
+    """Algorithm 2: train driving-in-lane and lane-change skills with SAC.
+
+    The two skills are trained in separate environments with their own
+    intrinsic reward functions ("we create parallel training environments
+    with different intrinsic reward functions").
+    """
+    logger = logger or MetricLogger()
+    rng = np.random.default_rng(config.seed)
+    obs_dim = low_level_obs_dim(config.scenario)
+    skills = skills or SkillLibrary(obs_dim, rng, hyper=config.hyper)
+
+    keeping_env = LaneKeepingEnv(config.scenario, config.rewards)
+    train_skill(
+        keeping_env,
+        skills.driving_in_lane,
+        episodes=episodes,
+        seed=config.seed,
+        logger=logger,
+        log_prefix="lane_keeping",
+    )
+
+    change_env = LaneChangeEnv(config.scenario, config.rewards)
+    train_skill(
+        change_env,
+        skills.lane_change,
+        episodes=episodes,
+        seed=config.seed + 1,
+        logger=logger,
+        log_prefix="lane_change",
+    )
+    return skills, logger
+
+
+def train_hero(
+    env: CooperativeLaneChangeEnv,
+    team: HeroTeam,
+    episodes: int,
+    config: TrainingConfig | None = None,
+    logger: MetricLogger | None = None,
+    updates_per_episode: int | None = None,
+    metric_prefix: str = "hero",
+    eval_every: int | None = None,
+    eval_episodes: int = 3,
+) -> MetricLogger:
+    """Algorithm 1: train the high-level cooperative strategy.
+
+    Per episode: roll out with asynchronous option selection, store SMDP
+    transitions and opponent observations, then run gradient updates for
+    every agent (critic, actor, opponent models; target nets via the
+    soft-update inside each agent update).
+
+    ``eval_every`` (default: episodes // 40) interleaves short greedy
+    evaluations and logs them as ``{prefix}/eval_*`` — these are the
+    exploration-free learning curves Fig. 7 plots.
+    """
+    config = config or TrainingConfig()
+    logger = logger or MetricLogger()
+    rng = np.random.default_rng(config.seed + 12345)
+    epsilon_schedule = LinearSchedule(
+        config.epsilon_start, config.epsilon_end, config.epsilon_decay_episodes
+    )
+    n_updates = (
+        updates_per_episode
+        if updates_per_episode is not None
+        else config.updates_per_episode
+    )
+    if eval_every is None:
+        eval_every = max(episodes // 40, 1)
+
+    losses: dict[str, float] = {}
+    for episode in range(episodes):
+        epsilon = epsilon_schedule(episode)
+        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+        team.start_episode()
+        done = False
+        info: dict = {}
+        step = 0
+        while not done:
+            actions = team.act(obs, epsilon=epsilon, explore=True)
+            next_obs, rewards, dones, info = env.step(actions)
+            team.exchange_observations(next_obs, timestamp=step)
+            team.after_step(next_obs, rewards, dones)
+            obs = next_obs
+            done = dones["__all__"]
+            step += 1
+
+        for _ in range(n_updates):
+            losses = team.update()
+
+        summary = info.get("episode", env.episode_summary())
+        attempts, successes = team.lane_change_stats()
+        logger.log_many(
+            {
+                f"{metric_prefix}/episode_reward": summary["episode_reward"],
+                f"{metric_prefix}/collision_rate": summary["collision"],
+                f"{metric_prefix}/merge_success_rate": summary["merge_success_rate"],
+                f"{metric_prefix}/mean_speed": summary["mean_speed"],
+                f"{metric_prefix}/epsilon": epsilon,
+                f"{metric_prefix}/lane_change_attempts": float(attempts),
+            },
+            episode,
+        )
+        if losses:
+            # Log a stable subset: the first agent's core losses.
+            first = env.agents[0]
+            for name in ("critic_loss", "actor_loss"):
+                key = f"{first}/{name}"
+                if key in losses:
+                    logger.log(f"{metric_prefix}/{name}", losses[key], episode)
+            for key, value in losses.items():
+                if "_nll" in key:
+                    logger.log(f"{metric_prefix}/{key}", value, episode)
+
+        if eval_every and (episode % eval_every == 0 or episode == episodes - 1):
+            eval_metrics = evaluate_hero(
+                env, team, episodes=eval_episodes, seed=config.seed + 500 + episode
+            )
+            logger.log_many(
+                {
+                    f"{metric_prefix}/eval_episode_reward": eval_metrics["episode_reward"],
+                    f"{metric_prefix}/eval_collision_rate": eval_metrics["collision_rate"],
+                    f"{metric_prefix}/eval_merge_success_rate": eval_metrics["success_rate"],
+                    f"{metric_prefix}/eval_mean_speed": eval_metrics["mean_speed"],
+                },
+                episode,
+            )
+    return logger
+
+
+def evaluate_hero(
+    env: CooperativeLaneChangeEnv,
+    team: HeroTeam,
+    episodes: int,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Greedy evaluation returning the paper's Table II style metrics."""
+    rng = np.random.default_rng(seed)
+    rewards, collisions, successes, speeds = [], [], [], []
+    for _ in range(episodes):
+        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+        team.start_episode()
+        done = False
+        info: dict = {}
+        while not done:
+            actions = team.act(obs, epsilon=0.0, explore=False)
+            obs, _, dones, info = env.step(actions)
+            done = dones["__all__"]
+        summary = info.get("episode", env.episode_summary())
+        rewards.append(summary["episode_reward"])
+        collisions.append(summary["collision"])
+        successes.append(summary["merge_success_rate"])
+        speeds.append(summary["mean_speed"])
+    return {
+        "episode_reward": float(np.mean(rewards)),
+        "collision_rate": float(np.mean(collisions)),
+        "success_rate": float(np.mean(successes)),
+        "mean_speed": float(np.mean(speeds)),
+    }

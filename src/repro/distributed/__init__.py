@@ -1,0 +1,18 @@
+"""Simulated distributed runtime: message bus, agent nodes, parameter server."""
+
+from .bus import MessageBus
+from .node import AgentNode, DistributedObservationService
+from .parameter_server import ParameterServer, SharedCriticSynchroniser
+from .protocol import Message, OptionAnnouncement, ParameterRequest, ParameterUpdate
+
+__all__ = [
+    "AgentNode",
+    "DistributedObservationService",
+    "Message",
+    "MessageBus",
+    "OptionAnnouncement",
+    "ParameterRequest",
+    "ParameterServer",
+    "ParameterUpdate",
+    "SharedCriticSynchroniser",
+]

@@ -1,0 +1,122 @@
+"""Simulated vehicle-to-vehicle message bus with latency and loss.
+
+The distributed setting of the paper means agents learn from *observed
+histories*, not shared policies. :class:`MessageBus` carries those
+observations between agent nodes with two network imperfections that a
+real testbed exhibits:
+
+* ``latency_steps`` — messages are delivered this many env steps after
+  they are sent,
+* ``drop_probability`` — each message is lost i.i.d. with this chance.
+
+Delivery is deterministic given the seed, so distributed experiments stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .protocol import Message
+
+
+class MessageBus:
+    """Step-synchronised broadcast/unicast message fabric."""
+
+    def __init__(
+        self,
+        latency_steps: int = 0,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if latency_steps < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_steps}")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop probability must be in [0, 1), got {drop_probability}")
+        self.latency_steps = latency_steps
+        self.drop_probability = drop_probability
+        self._rng = np.random.default_rng(seed)
+        self._subscribers: dict[str, deque] = {}
+        self._in_flight: deque[tuple[int, str, Message]] = deque()
+        self._clock = 0
+        self.sent_count = 0
+        self.dropped_count = 0
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, node_id: str) -> None:
+        if node_id in self._subscribers:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._subscribers[node_id] = deque()
+
+    def unregister(self, node_id: str) -> None:
+        self._subscribers.pop(node_id, None)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._subscribers)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, recipient: str, message: Message) -> None:
+        """Unicast ``message``; it arrives ``latency_steps`` ticks later."""
+        if recipient not in self._subscribers:
+            raise KeyError(f"unknown recipient {recipient!r}")
+        self.sent_count += 1
+        if self._rng.uniform() < self.drop_probability:
+            self.dropped_count += 1
+            return
+        deliver_at = self._clock + self.latency_steps
+        self._in_flight.append((deliver_at, recipient, message))
+
+    def broadcast(self, message: Message) -> None:
+        """Send to every node except the sender."""
+        for node_id in self._subscribers:
+            if node_id != message.sender:
+                self.send(node_id, message)
+
+    # ------------------------------------------------------------------
+    # Time and delivery
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the clock one tick and deliver everything due."""
+        self._clock += 1
+        still_flying: deque = deque()
+        while self._in_flight:
+            deliver_at, recipient, message = self._in_flight.popleft()
+            if deliver_at <= self._clock:
+                if recipient in self._subscribers:
+                    self._subscribers[recipient].append(message)
+                    self.delivered_count += 1
+            else:
+                still_flying.append((deliver_at, recipient, message))
+        self._in_flight = still_flying
+
+    def receive(self, node_id: str) -> list[Message]:
+        """Drain a node's inbox."""
+        if node_id not in self._subscribers:
+            raise KeyError(f"unknown node {node_id!r}")
+        inbox = self._subscribers[node_id]
+        messages = list(inbox)
+        inbox.clear()
+        return messages
+
+    def pending(self, node_id: str) -> int:
+        return len(self._subscribers.get(node_id, ()))
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "sent": self.sent_count,
+            "dropped": self.dropped_count,
+            "delivered": self.delivered_count,
+            "in_flight": len(self._in_flight),
+        }

@@ -1,0 +1,101 @@
+"""Per-agent communication node.
+
+An :class:`AgentNode` is the networking half of one HERO agent: it
+broadcasts the option the agent is executing and collects the other
+agents' announcements into the per-opponent observation history the
+opponent model trains on. Because delivery is delayed and lossy, the
+histories really are *past* observations — the paper's assumption
+``{s_1:t-1, a^-i_1:t-1}`` — rather than a shared-memory shortcut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bus import MessageBus
+from .protocol import OptionAnnouncement
+
+
+class AgentNode:
+    """Broadcast own options; track last-known options of the others."""
+
+    def __init__(self, node_id: str, bus: MessageBus, peer_ids: list[str]):
+        self.node_id = node_id
+        self.bus = bus
+        self.peer_ids = [p for p in peer_ids if p != node_id]
+        bus.register(node_id)
+        self._last_known: dict[str, int] = {peer: 0 for peer in self.peer_ids}
+        self._history: list[tuple[int, str, int, np.ndarray]] = []
+
+    def announce(self, option: int, state: np.ndarray, timestamp: int) -> None:
+        """Broadcast the currently-executing option with its state context."""
+        self.bus.broadcast(
+            OptionAnnouncement(
+                sender=self.node_id,
+                timestamp=timestamp,
+                option=int(option),
+                state=np.asarray(state, dtype=np.float64),
+            )
+        )
+
+    def poll(self) -> list[OptionAnnouncement]:
+        """Drain the inbox, updating the last-known option table."""
+        announcements = []
+        for message in self.bus.receive(self.node_id):
+            if isinstance(message, OptionAnnouncement):
+                self._last_known[message.sender] = message.option
+                self._history.append(
+                    (message.timestamp, message.sender, message.option, message.state)
+                )
+                announcements.append(message)
+        return announcements
+
+    def last_known_options(self) -> np.ndarray:
+        """Most recent option heard from each peer (bus order = peer_ids)."""
+        return np.array(
+            [self._last_known[peer] for peer in self.peer_ids], dtype=np.int64
+        )
+
+    def history_for(self, peer: str) -> list[tuple[int, int]]:
+        """(timestamp, option) pairs observed for one peer."""
+        return [(t, o) for t, sender, o, _ in self._history if sender == peer]
+
+    @property
+    def history_length(self) -> int:
+        return len(self._history)
+
+
+class DistributedObservationService:
+    """Wires a set of agent nodes to one bus and runs the per-step exchange.
+
+    Usage per env step::
+
+        service.exchange({agent: (option, state)}, timestamp)
+        options = service.observed_options(agent)
+    """
+
+    def __init__(
+        self,
+        agent_ids: list[str],
+        latency_steps: int = 1,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        self.bus = MessageBus(latency_steps, drop_probability, seed)
+        self.agent_ids = list(agent_ids)
+        self.nodes = {
+            agent: AgentNode(agent, self.bus, self.agent_ids) for agent in agent_ids
+        }
+
+    def exchange(
+        self, options_and_states: dict[str, tuple[int, np.ndarray]], timestamp: int
+    ) -> None:
+        """One round: everyone announces, the bus ticks, everyone polls."""
+        for agent, (option, state) in options_and_states.items():
+            self.nodes[agent].announce(option, state, timestamp)
+        self.bus.step()
+        for node in self.nodes.values():
+            node.poll()
+
+    def observed_options(self, agent: str) -> np.ndarray:
+        return self.nodes[agent].last_known_options()

@@ -1,0 +1,87 @@
+"""Parameter-sharing service for low-level critics.
+
+Sec. III-D: "the training of critic can be realized by parameter sharing
+among distributed agents." The server keeps a versioned parameter blob
+per key; agents push local critic weights and pull merged ones. Merging
+averages the pushed parameters since the last pull — the simplest
+federated-style aggregation, adequate for homogeneous critics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ParameterServer:
+    """Versioned key-value store with averaging aggregation."""
+
+    def __init__(self):
+        self._store: dict[str, dict[str, np.ndarray]] = {}
+        self._versions: dict[str, int] = {}
+        self._pending: dict[str, list[dict[str, np.ndarray]]] = {}
+
+    def push(self, key: str, parameters: dict[str, np.ndarray]) -> None:
+        """Stage one contributor's parameters for the next aggregation."""
+        copied = {name: np.array(value, copy=True) for name, value in parameters.items()}
+        self._pending.setdefault(key, []).append(copied)
+
+    def aggregate(self, key: str) -> int:
+        """Average staged contributions into the served copy; bump version."""
+        staged = self._pending.pop(key, [])
+        if not staged:
+            return self._versions.get(key, 0)
+        names = staged[0].keys()
+        for contribution in staged[1:]:
+            if contribution.keys() != names:
+                raise ValueError("parameter structure mismatch among contributors")
+        merged = {
+            name: np.mean([c[name] for c in staged], axis=0) for name in names
+        }
+        self._store[key] = merged
+        self._versions[key] = self._versions.get(key, 0) + 1
+        return self._versions[key]
+
+    def pull(self, key: str) -> tuple[int, dict[str, np.ndarray]] | None:
+        """Latest (version, parameters) or None if never aggregated."""
+        if key not in self._store:
+            return None
+        parameters = {
+            name: value.copy() for name, value in self._store[key].items()
+        }
+        return self._versions[key], parameters
+
+    def version(self, key: str) -> int:
+        return self._versions.get(key, 0)
+
+    def keys(self) -> list[str]:
+        return sorted(self._store)
+
+
+class SharedCriticSynchroniser:
+    """Periodic push/aggregate/pull cycle for a group of SAC agents."""
+
+    def __init__(self, server: ParameterServer, key: str, period: int = 10):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.server = server
+        self.key = key
+        self.period = period
+        self._step = 0
+
+    def maybe_sync(self, agents: list) -> bool:
+        """Every ``period`` calls: average all agents' critic weights.
+
+        ``agents`` are objects exposing ``critic.state_dict`` /
+        ``critic.load_state_dict`` (e.g. :class:`repro.core.SACAgent`).
+        Returns True when a sync happened.
+        """
+        self._step += 1
+        if self._step % self.period != 0:
+            return False
+        for agent in agents:
+            self.server.push(self.key, agent.critic.state_dict())
+        self.server.aggregate(self.key)
+        _, merged = self.server.pull(self.key)
+        for agent in agents:
+            agent.critic.load_state_dict(merged)
+        return True

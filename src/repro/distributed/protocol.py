@@ -1,0 +1,45 @@
+"""Message types exchanged on the simulated vehicle network.
+
+The paper's observability model (Sec. III-A) is that each agent sees only
+the *historical* states and high-level actions of the others — here that
+history arrives as :class:`OptionAnnouncement` messages over a lossy,
+delayed bus, exactly as vehicle-to-vehicle beacons would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base envelope: who sent it and when (in env steps)."""
+
+    sender: str
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class OptionAnnouncement(Message):
+    """Broadcast of the option an agent is currently executing."""
+
+    option: int = 0
+    state: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+@dataclass(frozen=True)
+class ParameterUpdate(Message):
+    """Push of network parameters for low-level critic sharing."""
+
+    key: str = ""
+    version: int = 0
+    parameters: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ParameterRequest(Message):
+    """Pull request for the latest shared parameters."""
+
+    key: str = ""

@@ -1,0 +1,60 @@
+"""Driving simulator substrate (Gazebo substitute; DESIGN.md §2)."""
+
+from .base import MultiAgentEnv, SingleAgentEnv
+from .control import lane_change_command, lane_change_steer_sign, lane_keep_command
+from .geometry import RingTrack, StraightTrack, Track, make_track
+from .lane_change_env import CooperativeLaneChangeEnv
+from .render import print_episode, render_episode_frames, render_scene
+from .sensors import Lidar, PseudoCamera, feature_dim, feature_vector
+from .skill_envs import LaneChangeEnv, LaneKeepingEnv, low_level_obs_dim
+from .spaces import Box, DictSpace, Discrete, Space
+from .testbed import RealWorldTestbed
+from .traffic import (
+    LaneKeepingCruiser,
+    ScriptedPolicy,
+    SlowLeader,
+    StationaryObstacle,
+)
+from .vehicle import Vehicle, VehicleState
+from .wrappers import (
+    DiscreteActionWrapper,
+    FlattenObservationWrapper,
+    make_baseline_env,
+)
+
+__all__ = [
+    "Box",
+    "CooperativeLaneChangeEnv",
+    "DictSpace",
+    "Discrete",
+    "DiscreteActionWrapper",
+    "FlattenObservationWrapper",
+    "LaneChangeEnv",
+    "LaneKeepingCruiser",
+    "LaneKeepingEnv",
+    "Lidar",
+    "MultiAgentEnv",
+    "PseudoCamera",
+    "RealWorldTestbed",
+    "RingTrack",
+    "ScriptedPolicy",
+    "SingleAgentEnv",
+    "SlowLeader",
+    "Space",
+    "StationaryObstacle",
+    "StraightTrack",
+    "Track",
+    "Vehicle",
+    "VehicleState",
+    "feature_dim",
+    "lane_change_command",
+    "lane_change_steer_sign",
+    "lane_keep_command",
+    "feature_vector",
+    "low_level_obs_dim",
+    "make_baseline_env",
+    "make_track",
+    "print_episode",
+    "render_episode_frames",
+    "render_scene",
+]

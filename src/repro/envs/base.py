@@ -1,0 +1,63 @@
+"""Environment interfaces.
+
+Two shapes are used throughout the repository:
+
+* :class:`SingleAgentEnv` — gym-style ``reset() -> obs`` /
+  ``step(action) -> (obs, reward, done, info)``; used for low-level skill
+  training (Algorithm 2).
+* :class:`MultiAgentEnv` — PettingZoo-parallel-style dict API; used for the
+  cooperative lane-change Markov game (Algorithm 1 and all baselines).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .spaces import Space
+
+
+class SingleAgentEnv:
+    """Minimal single-agent episodic environment."""
+
+    observation_space: Space
+    action_space: Space
+
+    def reset(self, seed: int | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def step(self, action) -> tuple[np.ndarray, float, bool, dict[str, Any]]:
+        raise NotImplementedError
+
+
+class MultiAgentEnv:
+    """Parallel multi-agent environment over named agents.
+
+    ``step`` consumes a dict of actions for every live agent and returns
+    per-agent observation/reward/done dicts plus a shared info dict. The
+    fully-cooperative setting of the paper means rewards are identical
+    across agents, but the API keeps them per-agent so baselines with
+    per-agent rewards (MADDPG) fit without special cases.
+    """
+
+    agents: list[str]
+    observation_spaces: dict[str, Space]
+    action_spaces: dict[str, Space]
+
+    def reset(self, seed: int | None = None) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def step(
+        self, actions: dict[str, Any]
+    ) -> tuple[
+        dict[str, np.ndarray],
+        dict[str, float],
+        dict[str, bool],
+        dict[str, Any],
+    ]:
+        raise NotImplementedError
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.agents)

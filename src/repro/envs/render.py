@@ -1,0 +1,87 @@
+"""ASCII rendering of the driving scene.
+
+No display stack is available offline, so episodes are rendered as text:
+two lanes drawn as rows of track cells, learning vehicles as digits,
+scripted vehicles as ``X``. Useful in examples and for debugging option
+policies ("who was where when the collision happened").
+"""
+
+from __future__ import annotations
+
+from .lane_change_env import CooperativeLaneChangeEnv
+
+
+def render_scene(env: CooperativeLaneChangeEnv, width: int = 72) -> str:
+    """Render the current env state as a fixed-width two-lane strip.
+
+    The whole periodic track is compressed onto ``width`` character cells;
+    within a cell the latest writer wins (vehicles are small relative to a
+    cell, so overlaps in print usually mean proximity in the world too).
+    """
+    track = env.track
+    cell = track.length / width
+    lanes = [[" "] * width for _ in range(track.num_lanes)]
+
+    def place(symbol: str, s: float, d: float) -> None:
+        lane = track.lane_of(d)
+        column = int(track.wrap(s) / cell) % width
+        # Draw top lane (highest d) first: row 0 = leftmost lane.
+        row = track.num_lanes - 1 - lane
+        lanes[row][column] = symbol
+
+    for vehicle in env._scripted:
+        place("X", vehicle.state.s, vehicle.state.d)
+    for i, agent in enumerate(env.agents):
+        vehicle = env.vehicle(agent)
+        symbol = str(i % 10)
+        if vehicle.crashed:
+            symbol = "*"
+        place(symbol, vehicle.state.s, vehicle.state.d)
+
+    border = "+" + "-" * width + "+"
+    rows = [border]
+    for row in lanes:
+        rows.append("|" + "".join(row) + "|")
+    rows.append(border)
+    return "\n".join(rows)
+
+
+def render_episode_frames(
+    env: CooperativeLaneChangeEnv,
+    policy,
+    seed: int = 0,
+    max_frames: int | None = None,
+    width: int = 72,
+) -> list[str]:
+    """Roll out ``policy(observations) -> actions`` and collect frames.
+
+    Returns one rendered string per step (plus the initial state); the
+    episode summary is appended as the final entry.
+    """
+    observations = env.reset(seed=seed)
+    frames = [render_scene(env, width)]
+    done = False
+    info: dict = {}
+    while not done:
+        actions = policy(observations)
+        observations, _, dones, info = env.step(actions)
+        frames.append(render_scene(env, width))
+        done = dones["__all__"]
+        if max_frames is not None and len(frames) >= max_frames:
+            break
+    summary = info.get("episode")
+    if summary is not None:
+        frames.append(
+            "episode: "
+            + ", ".join(f"{name}={value:.3f}" for name, value in summary.items())
+        )
+    return frames
+
+
+def print_episode(env, policy, seed: int = 0, every: int = 5, width: int = 72) -> None:
+    """Print every ``every``-th frame of one episode."""
+    frames = render_episode_frames(env, policy, seed=seed, width=width)
+    for index, frame in enumerate(frames):
+        if index % every == 0 or index == len(frames) - 1:
+            print(f"-- step {index} --")
+            print(frame)

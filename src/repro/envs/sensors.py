@@ -1,0 +1,180 @@
+"""Simulated sensors: 360-degree lidar and a pseudo-camera.
+
+The paper equips each vehicle with a lidar ("the distance with other
+vehicles from 360 degrees", Sec. IV-B) and a camera whose image feeds the
+low-level controller (Sec. IV-C). Here:
+
+* :class:`Lidar` raycasts ``n_beams`` rays in the track frame against the
+  other vehicles' collision discs and the road edges, returning normalised
+  distances in ``[0, 1]``.
+* :class:`PseudoCamera` renders a small ego-centric occupancy grid with a
+  vehicle channel and a lane-marking channel — the same information content
+  a downward-facing camera provides (lane-relative pose + nearby obstacles);
+  see DESIGN.md §2 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.math_utils import segment_intersects_circle
+from .geometry import Track
+from .vehicle import Vehicle
+
+
+class Lidar:
+    """Raycasting range sensor in the (periodic) track frame."""
+
+    def __init__(self, n_beams: int = 16, max_range: float = 3.0):
+        if n_beams < 4:
+            raise ValueError(f"need at least 4 beams, got {n_beams}")
+        self.n_beams = n_beams
+        self.max_range = max_range
+        self._angles = np.linspace(0.0, 2.0 * np.pi, n_beams, endpoint=False)
+
+    def scan(self, ego: Vehicle, others: list[Vehicle]) -> np.ndarray:
+        """Return normalised distances (1.0 = nothing within range).
+
+        Beam 0 points along the ego heading; beams proceed counter-clockwise.
+        """
+        track = ego.track
+        origin = np.array([ego.state.s, ego.state.d])
+        distances = np.full(self.n_beams, self.max_range)
+
+        # Pre-compute periodic copies of each obstacle disc.
+        centers: list[tuple[np.ndarray, float]] = []
+        for other in others:
+            if other is ego:
+                continue
+            base_s = other.state.s
+            for shift in (-track.length, 0.0, track.length):
+                centers.append(
+                    (np.array([base_s + shift, other.state.d]), other.radius)
+                )
+
+        for i, rel_angle in enumerate(self._angles):
+            angle = ego.state.heading + rel_angle
+            direction = np.array([np.cos(angle), np.sin(angle)])
+            end = origin + direction * self.max_range
+            best = self.max_range
+            for center, radius in centers:
+                hit = segment_intersects_circle(origin, end, center, radius)
+                if hit is not None and hit < best:
+                    best = hit
+            # Road edges are walls at d = +/- half_width.
+            if abs(direction[1]) > 1e-9:
+                for wall in (-track.half_width, track.half_width):
+                    t = (wall - origin[1]) / direction[1]
+                    if 0.0 <= t < best:
+                        best = t
+            distances[i] = best
+        return distances / self.max_range
+
+
+class PseudoCamera:
+    """Ego-centric occupancy-grid camera substitute.
+
+    Produces a ``(2, size, size)`` float grid covering ``[0, view_range]``
+    ahead and ``[-view_range/2, +view_range/2]`` laterally, rotated into the
+    ego heading frame:
+
+    * channel 0 — occupancy of other vehicles,
+    * channel 1 — lane markings (lane boundaries and road edges).
+    """
+
+    def __init__(self, size: int = 16, view_range: float = 2.0):
+        if size < 4:
+            raise ValueError(f"camera grid must be at least 4x4, got {size}")
+        self.size = size
+        self.view_range = view_range
+        # Cell centre coordinates in the ego frame (x forward, y left).
+        xs = np.linspace(0.0, view_range, size)
+        ys = np.linspace(-view_range / 2.0, view_range / 2.0, size)
+        self._grid_x, self._grid_y = np.meshgrid(xs, ys, indexing="ij")
+        self._cell = view_range / size
+
+    @property
+    def channels(self) -> int:
+        return 2
+
+    def capture(self, ego: Vehicle, others: list[Vehicle]) -> np.ndarray:
+        track = ego.track
+        cos_h = np.cos(ego.state.heading)
+        sin_h = np.sin(ego.state.heading)
+        # Ego-frame cell centres -> track-frame offsets.
+        off_s = self._grid_x * cos_h - self._grid_y * sin_h
+        off_d = self._grid_x * sin_h + self._grid_y * cos_h
+        cell_s = ego.state.s + off_s
+        cell_d = ego.state.d + off_d
+
+        image = np.zeros((2, self.size, self.size))
+
+        # Channel 0: vehicles (periodic in s).
+        for other in others:
+            if other is ego:
+                continue
+            gap_s = np.mod(other.state.s - cell_s + track.length / 2.0, track.length) - (
+                track.length / 2.0
+            )
+            gap_d = other.state.d - cell_d
+            inside = np.hypot(gap_s, gap_d) <= (other.radius + self._cell / 2.0)
+            image[0][inside] = 1.0
+
+        # Channel 1: lane boundaries (between lanes and at road edges).
+        boundaries = [
+            -track.half_width + k * track.lane_width for k in range(track.num_lanes + 1)
+        ]
+        for boundary in boundaries:
+            near = np.abs(cell_d - boundary) <= self._cell / 2.0
+            image[1][near] = 1.0
+        # Off-road area is marked solid to give a strong deviation signal.
+        image[1][np.abs(cell_d) > track.half_width] = 1.0
+        return image
+
+
+def feature_vector(ego: Vehicle, others: list[Vehicle], track: Track) -> np.ndarray:
+    """Compact hand-crafted features used when ``observation_mode='features'``.
+
+    A fast drop-in for the camera image in large benchmark sweeps:
+    ``[lane deviation (signed), heading error, speed, lane one-hot...,
+    forward gap same lane, forward gap other lane, rear gap other lane]``,
+    gaps normalised by a 3-unit horizon.
+    """
+    horizon = 3.0
+    lane = ego.lane_id
+    deviation = ego.state.d - track.lane_center(lane)
+    lane_onehot = np.zeros(track.num_lanes)
+    lane_onehot[lane] = 1.0
+
+    def nearest_gap(target_lane: int, forward: bool) -> float:
+        best = horizon
+        for other in others:
+            if other is ego or other.lane_id != target_lane:
+                continue
+            gap = track.signed_gap(ego.state.s, other.state.s)
+            if forward and 0.0 < gap < best:
+                best = gap
+            if not forward and 0.0 < -gap < best:
+                best = -gap
+        return best / horizon
+
+    other_lane = 1 - lane if track.num_lanes == 2 else lane
+    return np.concatenate(
+        [
+            [deviation / track.lane_width, ego.state.heading, ego.state.linear_speed],
+            lane_onehot,
+            [
+                nearest_gap(lane, forward=True),
+                nearest_gap(other_lane, forward=True),
+                nearest_gap(other_lane, forward=False),
+            ],
+        ]
+    )
+
+
+FEATURE_DIM_BASE = 6  # deviation, heading, speed, fwd gap, fwd-other, rear-other
+
+
+def feature_dim(num_lanes: int) -> int:
+    """Dimension of :func:`feature_vector` output."""
+    return FEATURE_DIM_BASE + num_lanes

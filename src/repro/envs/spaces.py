@@ -1,0 +1,101 @@
+"""Observation/action space descriptions (a minimal gym-style API)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Space:
+    """Base class for spaces."""
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        raise NotImplementedError
+
+
+class Box(Space):
+    """Continuous box ``[low, high]^shape``."""
+
+    def __init__(self, low, high, shape: tuple | None = None):
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if shape is not None:
+            low = np.broadcast_to(low, shape).copy()
+            high = np.broadcast_to(high, shape).copy()
+        if low.shape != high.shape:
+            raise ValueError(f"low/high shape mismatch: {low.shape} vs {high.shape}")
+        if np.any(high < low):
+            raise ValueError("high must be >= low elementwise")
+        self.low = low
+        self.high = high
+        self.shape = low.shape
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high)
+
+    def contains(self, value) -> bool:
+        value = np.asarray(value)
+        if value.shape != self.shape:
+            return False
+        return bool(np.all(value >= self.low - 1e-9) and np.all(value <= self.high + 1e-9))
+
+    def clip(self, value) -> np.ndarray:
+        return np.clip(np.asarray(value, dtype=np.float64), self.low, self.high)
+
+    @property
+    def dim(self) -> int:
+        return int(np.prod(self.shape))
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape})"
+
+
+class Discrete(Space):
+    """Integer actions ``{0, ..., n-1}``."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self.shape = ()
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.n))
+
+    def contains(self, value) -> bool:
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= value < self.n
+
+    @property
+    def dim(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+
+class DictSpace(Space):
+    """Named sub-spaces (used for structured observations)."""
+
+    def __init__(self, spaces: dict[str, Space]):
+        self.spaces = dict(spaces)
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        return {name: space.sample(rng) for name, space in self.spaces.items()}
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, dict) or set(value) != set(self.spaces):
+            return False
+        return all(space.contains(value[name]) for name, space in self.spaces.items())
+
+    def __getitem__(self, name: str) -> Space:
+        return self.spaces[name]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v!r}" for k, v in self.spaces.items())
+        return f"DictSpace({inner})"

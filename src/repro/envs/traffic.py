@@ -1,0 +1,80 @@
+"""Scripted (non-learning) traffic participants.
+
+The paper's four-vehicle scenario (Fig. 9/12) sets "vehicle 4 ... with a
+plodding speed to simulate traffic congestion or traffic accident". These
+controllers reproduce that behaviour plus a simple lane-keeping P-controller
+for generic filler traffic.
+"""
+
+from __future__ import annotations
+
+from ..utils.math_utils import clamp
+from .vehicle import Vehicle
+
+
+class ScriptedPolicy:
+    """Base scripted controller: maps a vehicle + world to speed commands."""
+
+    def act(self, vehicle: Vehicle, others: list[Vehicle]) -> tuple[float, float]:
+        raise NotImplementedError
+
+
+class SlowLeader(ScriptedPolicy):
+    """Constant plodding speed with lane-centering steering.
+
+    This is the congestion source: it crawls in its lane so following
+    vehicles must either slow down or change lanes.
+    """
+
+    def __init__(self, speed: float = 0.02, steer_gain: float = 0.8):
+        self.speed = speed
+        self.steer_gain = steer_gain
+
+    def act(self, vehicle: Vehicle, others: list[Vehicle]) -> tuple[float, float]:
+        angular = _lane_centering_steer(vehicle, self.steer_gain)
+        return self.speed, angular
+
+
+class LaneKeepingCruiser(ScriptedPolicy):
+    """Cruises at a target speed, braking behind slower traffic."""
+
+    def __init__(
+        self,
+        target_speed: float = 0.08,
+        safe_gap: float = 0.6,
+        steer_gain: float = 0.8,
+    ):
+        self.target_speed = target_speed
+        self.safe_gap = safe_gap
+        self.steer_gain = steer_gain
+
+    def act(self, vehicle: Vehicle, others: list[Vehicle]) -> tuple[float, float]:
+        speed = self.target_speed
+        for other in others:
+            if other is vehicle or other.lane_id != vehicle.lane_id:
+                continue
+            gap = vehicle.track.signed_gap(vehicle.state.s, other.state.s)
+            if 0.0 < gap < self.safe_gap:
+                # Proportional braking toward the leader's speed.
+                blend = gap / self.safe_gap
+                speed = min(
+                    speed, blend * self.target_speed + (1 - blend) * other.state.linear_speed
+                )
+        angular = _lane_centering_steer(vehicle, self.steer_gain)
+        return speed, angular
+
+
+class StationaryObstacle(ScriptedPolicy):
+    """A stopped vehicle (accident scenario)."""
+
+    def act(self, vehicle: Vehicle, others: list[Vehicle]) -> tuple[float, float]:
+        return 0.0, 0.0
+
+
+def _lane_centering_steer(vehicle: Vehicle, gain: float) -> float:
+    """P-controller steering back to the current lane centre."""
+    target_d = vehicle.track.lane_center(vehicle.lane_id)
+    lateral_error = target_d - vehicle.state.d
+    heading_error = vehicle.state.heading
+    command = gain * lateral_error - 1.5 * gain * heading_error
+    return clamp(command, -0.3, 0.3)

@@ -1,0 +1,104 @@
+"""Environment wrappers: observation flattening and action discretisation.
+
+The end-to-end baselines (Independent DQN, COMA, MADDPG, MAAC) act on the
+primitive action space directly. DQN/COMA/MAAC need a discrete action set,
+so :class:`DiscreteActionWrapper` exposes a grid of (linear, angular)
+speed commands — the standard discretisation used when applying value-based
+methods to continuous driving control.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any
+
+import numpy as np
+
+from .base import MultiAgentEnv
+from .lane_change_env import CooperativeLaneChangeEnv
+from .spaces import Box, Discrete
+
+
+class FlattenObservationWrapper(MultiAgentEnv):
+    """Concatenate each agent's dict observation into one flat vector.
+
+    The result is ``[lidar, speed, lane_onehot, features]`` — everything a
+    non-hierarchical learner can see in one vector.
+    """
+
+    def __init__(self, env: CooperativeLaneChangeEnv):
+        if env.scenario.observation_mode != "features":
+            raise ValueError(
+                "FlattenObservationWrapper requires observation_mode='features'"
+            )
+        self.env = env
+        self.agents = list(env.agents)
+        dim = env.high_level_obs_dim + len(
+            env.reset(seed=0)[self.agents[0]]["features"]
+        )
+        self.observation_spaces = {
+            agent: Box(-5.0, 5.0, shape=(dim,)) for agent in self.agents
+        }
+        self.action_spaces = dict(env.action_spaces)
+        self.obs_dim = dim
+
+    @staticmethod
+    def flatten(obs: dict[str, np.ndarray]) -> np.ndarray:
+        return np.concatenate(
+            [obs["lidar"], obs["speed"], obs["lane_onehot"], obs["features"]]
+        )
+
+    def reset(self, seed: int | None = None):
+        obs = self.env.reset(seed)
+        return {agent: self.flatten(o) for agent, o in obs.items()}
+
+    def step(self, actions: dict[str, Any]):
+        obs, rewards, dones, info = self.env.step(actions)
+        return (
+            {agent: self.flatten(o) for agent, o in obs.items()},
+            rewards,
+            dones,
+            info,
+        )
+
+
+class DiscreteActionWrapper(MultiAgentEnv):
+    """Expose a discrete grid of primitive (linear, angular) commands."""
+
+    def __init__(
+        self,
+        env: MultiAgentEnv,
+        linear_levels: tuple[float, ...] = (0.02, 0.08, 0.14),
+        angular_levels: tuple[float, ...] = (-0.2, 0.0, 0.2),
+    ):
+        self.env = env
+        self.agents = list(env.agents)
+        self.actions = [
+            np.array(pair) for pair in product(linear_levels, angular_levels)
+        ]
+        self.observation_spaces = dict(env.observation_spaces)
+        self.action_spaces = {
+            agent: Discrete(len(self.actions)) for agent in self.agents
+        }
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.actions)
+
+    def reset(self, seed: int | None = None):
+        return self.env.reset(seed)
+
+    def step(self, actions: dict[str, int]):
+        continuous = {
+            agent: self.actions[int(action)] for agent, action in actions.items()
+        }
+        return self.env.step(continuous)
+
+
+def make_baseline_env(
+    scenario=None, rewards=None, seed: int | None = None
+) -> DiscreteActionWrapper:
+    """Standard environment stack for the end-to-end baselines:
+    flatten observations, discretise actions."""
+    base = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
+    return DiscreteActionWrapper(FlattenObservationWrapper(base))

@@ -1,0 +1,181 @@
+"""Shared experiment plumbing: scenario construction and method training.
+
+Every figure/table harness goes through :func:`train_all_methods` so HERO
+and the four baselines always see the same scenario, seeds and episode
+budget. ``scale`` expresses the fraction of the paper's 14,000-episode
+budget; benchmarks default to a small documented fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import evaluate_marl, make_baseline, train_marl
+from ..config import (
+    PaperHyperparameters,
+    RewardConfig,
+    ScenarioConfig,
+    TrainingConfig,
+)
+from ..core import HeroTeam, train_hero, train_low_level_skills
+from ..core.trainer import evaluate_hero
+from ..envs import CooperativeLaneChangeEnv, make_baseline_env
+from ..utils.logging_utils import MetricLogger
+
+METHOD_NAMES = ["hero", "idqn", "coma", "maddpg", "maac"]
+
+
+def bench_scenario(episode_length: int = 30) -> ScenarioConfig:
+    """The four-vehicle scenario of Fig. 9/12 at benchmark scale.
+
+    Episode length follows Table I (30 steps); at this horizon the three
+    strategies separate cleanly: keep-lane rams the congestion before the
+    episode ends, crawling survives but forfeits travel reward, merging is
+    safe *and* fast.
+    """
+    return ScenarioConfig(episode_length=episode_length)
+
+
+@dataclass
+class TrainedMethod:
+    """One trained method plus its training curves."""
+
+    name: str
+    logger: MetricLogger
+    evaluate: callable  # (env, episodes, seed) -> metrics dict
+    controller: object = None
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure/table needs from one training sweep."""
+
+    methods: dict[str, TrainedMethod] = field(default_factory=dict)
+    scenario: ScenarioConfig = field(default_factory=bench_scenario)
+    rewards: RewardConfig = field(default_factory=RewardConfig)
+    skill_logger: MetricLogger | None = None
+
+    def series(self, method: str, metric: str) -> np.ndarray:
+        trained = self.methods[method]
+        return trained.logger.values(f"{method}/{metric}")
+
+
+def episodes_from_scale(scale: float, hyper: PaperHyperparameters | None = None) -> int:
+    hyper = hyper or PaperHyperparameters()
+    return max(int(round(hyper.training_episodes * scale)), 10)
+
+
+def train_hero_method(
+    scenario: ScenarioConfig,
+    rewards: RewardConfig,
+    episodes: int,
+    skill_episodes: int,
+    seed: int,
+    opponent_mode: str = "model",
+    lr: float = 2e-3,
+    batch_size: int = 128,
+    updates_per_episode: int = 4,
+    metric_prefix: str = "hero",
+) -> TrainedMethod:
+    """Two-stage HERO training (Algorithm 2 then Algorithm 1)."""
+    config = TrainingConfig(seed=seed)
+    config.scenario = scenario
+    config.rewards = rewards
+    config.epsilon_start = 0.4
+    config.epsilon_end = 0.05
+    config.epsilon_decay_episodes = max(episodes // 2, 1)
+    config.entropy_coef = 0.02
+
+    skills, skill_logger = train_low_level_skills(config, episodes=skill_episodes)
+    env = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
+    team = HeroTeam(
+        env,
+        np.random.default_rng(seed),
+        hyper=config.hyper,
+        skills=skills,
+        opponent_mode=opponent_mode,
+        lr=lr,
+        batch_size=batch_size,
+    )
+    logger = train_hero(
+        env,
+        team,
+        episodes=episodes,
+        config=config,
+        updates_per_episode=updates_per_episode,
+        metric_prefix=metric_prefix,
+    )
+    # Keep the skill curves available to Fig. 8.
+    for name in skill_logger.names():
+        for step, value in zip(skill_logger.steps(name), skill_logger.values(name)):
+            logger.log(name, value, int(step))
+
+    def evaluate(eval_env, episodes, eval_seed=0):
+        return evaluate_hero(eval_env, team, episodes, seed=eval_seed)
+
+    return TrainedMethod(metric_prefix, logger, evaluate, controller=team)
+
+
+def train_baseline_method(
+    name: str,
+    scenario: ScenarioConfig,
+    rewards: RewardConfig,
+    episodes: int,
+    seed: int,
+    updates_per_episode: int = 1,
+    **baseline_kwargs,
+) -> TrainedMethod:
+    env = make_baseline_env(scenario=scenario, rewards=rewards)
+    algo = make_baseline(name, env, seed=seed, **baseline_kwargs)
+    logger = train_marl(
+        env,
+        algo,
+        episodes=episodes,
+        seed=seed,
+        updates_per_episode=updates_per_episode,
+        epsilon_decay_episodes=max(episodes // 2, 1),
+    )
+
+    def evaluate(eval_env, episodes, eval_seed=0):
+        return evaluate_marl(eval_env, algo, episodes, seed=eval_seed)
+
+    return TrainedMethod(name, logger, evaluate, controller=algo)
+
+
+def train_all_methods(
+    scale: float = 0.02,
+    seed: int = 0,
+    methods: list[str] | None = None,
+    scenario: ScenarioConfig | None = None,
+    skill_scale: float | None = None,
+) -> ExperimentResult:
+    """Train HERO and the baselines on the shared scenario.
+
+    ``scale=1.0`` reproduces the paper's full 14,000-episode budget;
+    benchmark defaults use a small fraction so the suite finishes in
+    minutes (documented in EXPERIMENTS.md).
+    """
+    methods = methods or METHOD_NAMES
+    scenario = scenario or bench_scenario()
+    rewards = RewardConfig()
+    episodes = episodes_from_scale(scale)
+    # Skills are single-agent and cheap; under-trained skills would turn a
+    # high-level comparison into a controller-quality comparison, so give
+    # them a floor regardless of the sweep scale.
+    if skill_scale is not None:
+        skill_episodes = episodes_from_scale(skill_scale)
+    else:
+        skill_episodes = max(episodes, 250)
+
+    result = ExperimentResult(scenario=scenario, rewards=rewards)
+    for name in methods:
+        if name == "hero":
+            trained = train_hero_method(
+                scenario, rewards, episodes, skill_episodes, seed
+            )
+        else:
+            trained = train_baseline_method(name, scenario, rewards, episodes, seed)
+        result.methods[name] = trained
+    return result

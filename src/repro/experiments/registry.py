@@ -1,0 +1,73 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each entry binds the experiment id to its ``run``/``report`` pair and the
+module implementing it, so benchmarks and the README can enumerate the
+full reproduction surface programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import fig7, fig8, fig10, fig11, table2
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Metadata + harness entry points for one table/figure."""
+
+    exp_id: str
+    title: str
+    run: Callable
+    report: Callable
+    workload: str
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig7": Experiment(
+        "fig7",
+        "Learning curves: reward / collision rate / merge success",
+        fig7.run_fig7,
+        fig7.report_fig7,
+        "4-vehicle cooperative lane change, 5 methods",
+    ),
+    "fig8": Experiment(
+        "fig8",
+        "Low-level skill training (lane keeping, lane change)",
+        fig8.run_fig8,
+        fig8.report_fig8,
+        "single vehicle, SAC with intrinsic rewards",
+    ),
+    "fig10": Experiment(
+        "fig10",
+        "Opponent-model loss per modeled vehicle",
+        fig10.run_fig10,
+        fig10.report_fig10,
+        "HERO training, vehicle 2's predictors",
+    ),
+    "fig11": Experiment(
+        "fig11",
+        "Mean speed of trained policies",
+        fig11.run_fig11,
+        fig11.report_fig11,
+        "greedy evaluation in simulation",
+    ),
+    "table2": Experiment(
+        "table2",
+        "Real-world testbed evaluation (domain-shifted simulator)",
+        table2.run_table2,
+        table2.report_table2,
+        "20 evaluation episodes under sensor/actuation shift",
+    ),
+}
+
+
+def run_experiment(exp_id: str, scale: float = 0.02, seed: int = 0) -> dict:
+    """Run one experiment end to end and print its report."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
+    experiment = EXPERIMENTS[exp_id]
+    outputs = experiment.run(scale=scale, seed=seed)
+    experiment.report(outputs)
+    return outputs

@@ -1,0 +1,101 @@
+"""Numpy neural-network substrate (autodiff, layers, optimisers).
+
+This package replaces the deep-learning framework the paper implicitly
+relies on; see DESIGN.md §2 for the substitution rationale.
+"""
+
+from .attention import MultiHeadAttention, ScaledDotProductAttention, exclude_self_mask
+from .conv import Conv2d, Flatten, GlobalAvgPool2d, MaxPool2d
+from .functional import (
+    entropy_from_logits,
+    gumbel_softmax,
+    kl_from_logits,
+    log_softmax,
+    logsumexp,
+    one_hot,
+    sample_categorical,
+    softmax,
+)
+from .layers import (
+    ACTIVATIONS,
+    Dropout,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    make_activation,
+)
+from .losses import cross_entropy, huber_loss, mse_loss, nll_loss
+from .module import Module, Parameter, hard_update, soft_update
+from .networks import (
+    CNNEncoder,
+    CategoricalPolicy,
+    DiscreteQNetwork,
+    MLP,
+    QNetwork,
+    SquashedGaussianPolicy,
+    TwinQNetwork,
+)
+from .optim import Adam, Optimizer, RMSprop, SGD, clip_grad_norm
+from .tensor import Tensor, concatenate, no_grad_copy, ones, stack, tensor, where, zeros
+
+__all__ = [
+    "ACTIVATIONS",
+    "Adam",
+    "CNNEncoder",
+    "CategoricalPolicy",
+    "Conv2d",
+    "DiscreteQNetwork",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "MLP",
+    "MaxPool2d",
+    "Module",
+    "MultiHeadAttention",
+    "Optimizer",
+    "Parameter",
+    "QNetwork",
+    "ReLU",
+    "RMSprop",
+    "SGD",
+    "ScaledDotProductAttention",
+    "Sequential",
+    "Sigmoid",
+    "SquashedGaussianPolicy",
+    "Tanh",
+    "Tensor",
+    "TwinQNetwork",
+    "clip_grad_norm",
+    "concatenate",
+    "cross_entropy",
+    "entropy_from_logits",
+    "exclude_self_mask",
+    "gumbel_softmax",
+    "hard_update",
+    "huber_loss",
+    "kl_from_logits",
+    "log_softmax",
+    "logsumexp",
+    "make_activation",
+    "mse_loss",
+    "nll_loss",
+    "no_grad_copy",
+    "one_hot",
+    "ones",
+    "sample_categorical",
+    "soft_update",
+    "softmax",
+    "stack",
+    "tensor",
+    "where",
+    "zeros",
+]

@@ -1,0 +1,193 @@
+"""2-D convolution and pooling via im2col.
+
+The paper encodes the low-level camera observation with a convolutional
+network ("we use a conventional neural network to encode the image data").
+Our pseudo-camera produces small occupancy grids, so a straightforward
+im2col implementation is fast enough.
+
+Layout convention: inputs are ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+def _im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold patches of ``x`` into columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(batch, out_h * out_w, channels * kh * kw)``.
+    """
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    strides = x.strides
+    window_view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = window_view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kh * kw
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: tuple,
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: fold columns back, summing overlaps."""
+    batch, channels, height, width = input_shape
+    kh, kw = kernel
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[
+                :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+            ] += cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution layer with gradient support."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kernel_size, kernel_size)
+        self.stride = stride
+        self.padding = padding
+        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(initializers.he_uniform(weight_shape, rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects (B, C, H, W) input, got shape {x.shape}")
+        cols, out_h, out_w = _im2col(x.data, self.kernel_size, self.stride, self.padding)
+        weight = self.weight
+        bias = self.bias
+        flat_weight = weight.data.reshape(self.out_channels, -1)
+        out = cols @ flat_weight.T  # (B, OH*OW, out_channels)
+        if bias is not None:
+            out = out + bias.data
+        out = out.transpose(0, 2, 1).reshape(-1, self.out_channels, out_h, out_w)
+
+        input_shape = x.shape
+        kernel = self.kernel_size
+        stride = self.stride
+        padding = self.padding
+
+        def backward(grad: np.ndarray) -> None:
+            grad_flat = grad.reshape(grad.shape[0], self.out_channels, -1).transpose(
+                0, 2, 1
+            )  # (B, OH*OW, out_channels)
+            if weight.requires_grad:
+                grad_weight = np.einsum("bpo,bpk->ok", grad_flat, cols)
+                weight._accumulate(grad_weight.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad_flat.sum(axis=(0, 1)))
+            if x.requires_grad:
+                grad_cols = grad_flat @ flat_weight  # (B, OH*OW, C*kh*kw)
+                x._accumulate(
+                    _col2im(grad_cols, input_shape, kernel, stride, padding, out_h, out_w)
+                )
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return Tensor._make(out, parents, backward, "conv2d")
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window and matching stride."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (height - k) // s + 1
+        out_w = (width - k) // s + 1
+        cols, _, _ = _im2col(
+            x.data.reshape(batch * channels, 1, height, width), (k, k), s, 0
+        )
+        cols = cols.reshape(batch * channels, out_h * out_w, k * k)
+        argmax = cols.argmax(axis=-1)
+        out = np.take_along_axis(cols, argmax[..., None], axis=-1)[..., 0]
+        out = out.reshape(batch, channels, out_h, out_w)
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            grad_cols = np.zeros_like(cols)
+            flat_grad = grad.reshape(batch * channels, out_h * out_w)
+            np.put_along_axis(grad_cols, argmax[..., None], flat_grad[..., None], axis=-1)
+            folded = _col2im(
+                grad_cols.reshape(batch * channels, out_h * out_w, k * k),
+                (batch * channels, 1, height, width),
+                (k, k),
+                s,
+                0,
+                out_h,
+                out_w,
+            )
+            x._accumulate(folded.reshape(batch, channels, height, width))
+
+        return Tensor._make(out, (x,), backward, "maxpool2d")
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions, keeping (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

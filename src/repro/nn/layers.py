@@ -1,0 +1,156 @@
+"""Core layers: Linear, LayerNorm, Dropout, activations, Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    rng:
+        Source of initial weights (explicit for reproducibility).
+    weight_init:
+        One of ``"xavier"``, ``"he"``, ``"uniform"``, ``"orthogonal"``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        weight_init: str = "xavier",
+        bias: bool = True,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        shape = (in_features, out_features)
+        if weight_init == "xavier":
+            weight = initializers.xavier_uniform(shape, rng)
+        elif weight_init == "he":
+            weight = initializers.he_uniform(shape, rng)
+        elif weight_init == "uniform":
+            weight = initializers.uniform(shape, rng)
+        elif weight_init == "orthogonal":
+            weight = initializers.orthogonal(shape, rng)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.weight = Parameter(weight)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Parameter(np.ones(features))
+        self.beta = Parameter(np.zeros(features))
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (var + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = self._rng.uniform(size=x.shape) < keep
+        return x * Tensor(mask / keep)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "leaky_relu": LeakyReLU,
+    "identity": Identity,
+}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation module by name."""
+    if name not in ACTIVATIONS:
+        raise ValueError(f"unknown activation {name!r}; options: {sorted(ACTIVATIONS)}")
+    return ACTIVATIONS[name]()
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.children = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.children:
+            x = module(x)
+        return x
+
+    def append(self, module: Module) -> None:
+        self.children.append(module)
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.children[index]

@@ -1,0 +1,272 @@
+"""Reusable network architectures for actors, critics and encoders.
+
+These are the concrete function approximators the paper's learners use:
+
+* :class:`MLP` — the "multi-layer fully-connected neural network" used for
+  all critics (Sec. V-B; hidden width 32 per Table I).
+* :class:`CNNEncoder` — the "conventional neural network to encode the image
+  data" for the low-level vision state.
+* :class:`CategoricalPolicy` — high-level option actors and opponent models.
+* :class:`SquashedGaussianPolicy` — the SAC low-level continuous actor.
+* :class:`QNetwork` / :class:`TwinQNetwork` — state(-action) value heads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .conv import Conv2d, Flatten, MaxPool2d
+from .functional import log_softmax, sample_categorical, softmax
+from .layers import Linear, Sequential, make_activation
+from .module import Module
+from .tensor import Tensor, concatenate
+
+LOG_STD_MIN = -20.0
+LOG_STD_MAX = 2.0
+
+
+class MLP(Module):
+    """Fully-connected trunk with configurable hidden widths."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        output_activation: str = "identity",
+    ):
+        super().__init__()
+        layers: list[Module] = []
+        widths = [in_features, *hidden_sizes]
+        weight_init = "he" if activation == "relu" else "xavier"
+        for w_in, w_out in zip(widths[:-1], widths[1:]):
+            layers.append(Linear(w_in, w_out, rng, weight_init=weight_init))
+            layers.append(make_activation(activation))
+        layers.append(Linear(widths[-1], out_features, rng, weight_init="xavier"))
+        layers.append(make_activation(output_activation))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.net(x)
+
+
+class CNNEncoder(Module):
+    """Small convolutional encoder for the pseudo-camera occupancy grid.
+
+    Input: ``(batch, channels, height, width)``. Output: ``(batch, out_features)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        image_size: int,
+        out_features: int,
+        rng: np.random.Generator,
+        conv_channels: Sequence[int] = (8, 16),
+    ):
+        super().__init__()
+        layers: list[Module] = []
+        channels = in_channels
+        size = image_size
+        for out_ch in conv_channels:
+            layers.append(Conv2d(channels, out_ch, kernel_size=3, rng=rng, padding=1))
+            layers.append(make_activation("relu"))
+            layers.append(MaxPool2d(2))
+            channels = out_ch
+            size //= 2
+        layers.append(Flatten())
+        self.conv = Sequential(*layers)
+        flat = channels * size * size
+        self.head = Linear(flat, out_features, rng)
+        self.out_features = out_features
+
+    def forward(self, x: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.head(self.conv(x)).relu()
+
+
+class CategoricalPolicy(Module):
+    """Stochastic policy over a discrete action (option) set.
+
+    Produces logits; exposes sampling, log-probabilities and entropy. This is
+    the shape of the high-level actor pi_h and the opponent model pi_h^-i.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_actions: int,
+        rng: np.random.Generator,
+        hidden_sizes: Sequence[int] = (32, 32),
+        activation: str = "relu",
+    ):
+        super().__init__()
+        self.trunk = MLP(in_features, hidden_sizes, num_actions, rng, activation)
+        self.num_actions = num_actions
+
+    def forward(self, obs: Tensor | np.ndarray) -> Tensor:
+        """Return unnormalised logits, shape ``(batch, num_actions)``."""
+        return self.trunk(obs)
+
+    def probs(self, obs: Tensor | np.ndarray) -> Tensor:
+        return softmax(self.forward(obs), axis=-1)
+
+    def log_probs(self, obs: Tensor | np.ndarray) -> Tensor:
+        return log_softmax(self.forward(obs), axis=-1)
+
+    def sample(self, obs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample integer actions (no gradient)."""
+        logits = self.forward(obs).data
+        return sample_categorical(logits, rng)
+
+    def greedy(self, obs: np.ndarray) -> np.ndarray:
+        return self.forward(obs).data.argmax(axis=-1)
+
+
+class SquashedGaussianPolicy(Module):
+    """Tanh-squashed Gaussian actor for soft actor-critic.
+
+    Action bounds are handled by rescaling the tanh output into
+    ``[low, high]`` — matching the paper's per-skill linear/angular speed
+    ranges (Sec. IV-C).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        action_dim: int,
+        rng: np.random.Generator,
+        hidden_sizes: Sequence[int] = (32, 32),
+        action_low: np.ndarray | float = -1.0,
+        action_high: np.ndarray | float = 1.0,
+    ):
+        super().__init__()
+        self.trunk = MLP(in_features, hidden_sizes, 2 * action_dim, rng, "relu")
+        self.action_dim = action_dim
+        low = np.broadcast_to(np.asarray(action_low, dtype=np.float64), (action_dim,))
+        high = np.broadcast_to(np.asarray(action_high, dtype=np.float64), (action_dim,))
+        if np.any(high <= low):
+            raise ValueError("action_high must exceed action_low elementwise")
+        self._action_scale = (high - low) / 2.0
+        self._action_offset = (high + low) / 2.0
+
+    def set_bounds(self, action_low, action_high) -> None:
+        """Re-target the output range (used when options share one actor)."""
+        low = np.broadcast_to(np.asarray(action_low, dtype=np.float64), (self.action_dim,))
+        high = np.broadcast_to(np.asarray(action_high, dtype=np.float64), (self.action_dim,))
+        self._action_scale = (high - low) / 2.0
+        self._action_offset = (high + low) / 2.0
+
+    def forward(self, obs: Tensor | np.ndarray) -> tuple[Tensor, Tensor]:
+        """Return ``(mean, log_std)`` of the pre-squash Gaussian."""
+        out = self.trunk(obs)
+        mean = out[:, : self.action_dim]
+        log_std = out[:, self.action_dim :].clip(LOG_STD_MIN, LOG_STD_MAX)
+        return mean, log_std
+
+    def sample(
+        self, obs: Tensor | np.ndarray, rng: np.random.Generator
+    ) -> tuple[Tensor, Tensor]:
+        """Reparameterised sample; returns ``(action, log_prob)`` tensors.
+
+        ``log_prob`` includes the tanh-change-of-variables correction and the
+        affine rescale into the action bounds.
+        """
+        mean, log_std = self.forward(obs)
+        std = log_std.exp()
+        noise = Tensor(rng.standard_normal(mean.shape))
+        pre_tanh = mean + std * noise
+        squashed = pre_tanh.tanh()
+        action = squashed * Tensor(self._action_scale) + Tensor(self._action_offset)
+
+        # log N(pre_tanh; mean, std)
+        log_prob = (
+            -0.5 * ((noise * noise) + Tensor(np.log(2.0 * np.pi))) - log_std
+        ).sum(axis=-1)
+        # tanh change-of-variables: subtract sum_i log(1 - tanh(u_i)^2).
+        log_prob = log_prob - _tanh_log_det(pre_tanh)
+        # affine rescale correction
+        log_prob = log_prob - float(np.sum(np.log(self._action_scale)))
+        return action, log_prob
+
+    def deterministic(self, obs: np.ndarray) -> np.ndarray:
+        """Mean action (evaluation mode), already rescaled."""
+        mean, _ = self.forward(obs)
+        return np.tanh(mean.data) * self._action_scale + self._action_offset
+
+
+def _tanh_log_det(pre_tanh: Tensor) -> Tensor:
+    """Summed log|d tanh(u)/du| using the stable identity
+    ``log(1 - tanh(u)^2) = 2 * (log 2 - u - softplus(-2u))``."""
+    inner = Tensor(np.log(2.0)) - pre_tanh - (pre_tanh * -2.0).softplus()
+    return (inner * 2.0).sum(axis=-1)
+
+
+class QNetwork(Module):
+    """State-action value network ``Q(s, a)`` with concatenated inputs."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_dim: int,
+        rng: np.random.Generator,
+        hidden_sizes: Sequence[int] = (32, 32),
+    ):
+        super().__init__()
+        self.trunk = MLP(obs_dim + action_dim, hidden_sizes, 1, rng, "relu")
+
+    def forward(self, obs: Tensor | np.ndarray, action: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(obs, Tensor):
+            obs = Tensor(obs)
+        if not isinstance(action, Tensor):
+            action = Tensor(action)
+        return self.trunk(concatenate([obs, action], axis=-1)).squeeze(-1)
+
+
+class TwinQNetwork(Module):
+    """Pair of independent Q networks; min is the SAC/TD3 target trick."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        action_dim: int,
+        rng: np.random.Generator,
+        hidden_sizes: Sequence[int] = (32, 32),
+    ):
+        super().__init__()
+        self.q1 = QNetwork(obs_dim, action_dim, rng, hidden_sizes)
+        self.q2 = QNetwork(obs_dim, action_dim, rng, hidden_sizes)
+
+    def forward(self, obs, action) -> tuple[Tensor, Tensor]:
+        return self.q1(obs, action), self.q2(obs, action)
+
+    def min_q(self, obs, action) -> Tensor:
+        q1, q2 = self.forward(obs, action)
+        return q1.minimum(q2)
+
+
+class DiscreteQNetwork(Module):
+    """Per-action value rows ``Q(s, .)`` for DQN-style learners."""
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_actions: int,
+        rng: np.random.Generator,
+        hidden_sizes: Sequence[int] = (32, 32),
+    ):
+        super().__init__()
+        self.trunk = MLP(obs_dim, hidden_sizes, num_actions, rng, "relu")
+        self.num_actions = num_actions
+
+    def forward(self, obs: Tensor | np.ndarray) -> Tensor:
+        return self.trunk(obs)

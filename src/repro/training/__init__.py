@@ -1,0 +1,19 @@
+"""Training infrastructure: replay buffers and episode runners."""
+
+from .replay import (
+    JointReplayBuffer,
+    ObservationHistoryBuffer,
+    OptionReplayBuffer,
+    OptionTransition,
+    PrioritizedReplayBuffer,
+    ReplayBuffer,
+)
+
+__all__ = [
+    "JointReplayBuffer",
+    "ObservationHistoryBuffer",
+    "OptionReplayBuffer",
+    "OptionTransition",
+    "PrioritizedReplayBuffer",
+    "ReplayBuffer",
+]

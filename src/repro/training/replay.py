@@ -1,0 +1,248 @@
+"""Experience replay buffers.
+
+Three shapes are needed:
+
+* :class:`ReplayBuffer` — uniform ring buffer of flat transitions
+  (low-level SAC, DQN, MADDPG).
+* :class:`PrioritizedReplayBuffer` — proportional prioritisation
+  (optional for DQN; Schaul et al. 2016, cited by the paper as crucial
+  for stabilising DRL).
+* :class:`OptionReplayBuffer` — SMDP transitions for the high-level
+  learner: ``(s_h, o_i, o_-i, accumulated r_h, s_h', done, c)`` where the
+  reward is summed over the ``c`` steps the option ran (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ReplayBuffer:
+    """Uniform ring buffer over (obs, action, reward, next_obs, done)."""
+
+    def __init__(self, capacity: int, obs_dim: int, action_dim: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.obs = np.zeros((capacity, obs_dim))
+        self.actions = np.zeros((capacity, action_dim))
+        self.rewards = np.zeros(capacity)
+        self.next_obs = np.zeros((capacity, obs_dim))
+        self.dones = np.zeros(capacity)
+        self._index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, obs, action, reward, next_obs, done) -> None:
+        i = self._index
+        self.obs[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.next_obs[i] = next_obs
+        self.dones[i] = float(done)
+        self._index = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, self._size, size=min(batch_size, self._size))
+        return {
+            "obs": self.obs[idx],
+            "actions": self.actions[idx],
+            "rewards": self.rewards[idx],
+            "next_obs": self.next_obs[idx],
+            "dones": self.dones[idx],
+        }
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Proportional prioritised replay (simplified PER).
+
+    Priorities default to the max seen so new transitions are replayed at
+    least once; importance weights are returned for bias correction.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        action_dim: int,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+    ):
+        super().__init__(capacity, obs_dim, action_dim)
+        self.alpha = alpha
+        self.beta = beta
+        self._priorities = np.zeros(capacity)
+        self._max_priority = 1.0
+
+    def push(self, obs, action, reward, next_obs, done) -> None:
+        self._priorities[self._index] = self._max_priority
+        super().push(obs, action, reward, next_obs, done)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        scaled = self._priorities[: self._size] ** self.alpha
+        probs = scaled / scaled.sum()
+        idx = rng.choice(self._size, size=min(batch_size, self._size), p=probs)
+        weights = (self._size * probs[idx]) ** (-self.beta)
+        weights /= weights.max()
+        return {
+            "obs": self.obs[idx],
+            "actions": self.actions[idx],
+            "rewards": self.rewards[idx],
+            "next_obs": self.next_obs[idx],
+            "dones": self.dones[idx],
+            "weights": weights,
+            "indices": idx,
+        }
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        priorities = np.abs(td_errors) + 1e-6
+        self._priorities[indices] = priorities
+        self._max_priority = max(self._max_priority, float(priorities.max()))
+
+
+@dataclass
+class OptionTransition:
+    """One SMDP step of the high-level layer."""
+
+    obs: np.ndarray          # s_h at option start
+    option: int              # o_i
+    other_options: np.ndarray  # o_-i (ints, one per opponent)
+    reward: float            # accumulated r_h over the option's c steps
+    next_obs: np.ndarray     # s_h at option end
+    done: bool
+    steps: int               # c, for the gamma^c discount
+
+
+class OptionReplayBuffer:
+    """Ring buffer of :class:`OptionTransition`."""
+
+    def __init__(self, capacity: int, obs_dim: int, num_opponents: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.obs = np.zeros((capacity, obs_dim))
+        self.options = np.zeros(capacity, dtype=np.int64)
+        self.other_options = np.zeros((capacity, num_opponents), dtype=np.int64)
+        self.rewards = np.zeros(capacity)
+        self.next_obs = np.zeros((capacity, obs_dim))
+        self.dones = np.zeros(capacity)
+        self.steps = np.zeros(capacity, dtype=np.int64)
+        self._index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, transition: OptionTransition) -> None:
+        i = self._index
+        self.obs[i] = transition.obs
+        self.options[i] = transition.option
+        self.other_options[i] = transition.other_options
+        self.rewards[i] = transition.reward
+        self.next_obs[i] = transition.next_obs
+        self.dones[i] = float(transition.done)
+        self.steps[i] = transition.steps
+        self._index = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, self._size, size=min(batch_size, self._size))
+        return {
+            "obs": self.obs[idx],
+            "options": self.options[idx],
+            "other_options": self.other_options[idx],
+            "rewards": self.rewards[idx],
+            "next_obs": self.next_obs[idx],
+            "dones": self.dones[idx],
+            "steps": self.steps[idx],
+        }
+
+
+class JointReplayBuffer:
+    """Replay of joint multi-agent transitions (CTDE baselines).
+
+    Stores all agents' observations and integer actions per step plus the
+    per-agent reward vector and a shared done flag.
+    """
+
+    def __init__(self, capacity: int, num_agents: int, obs_dim: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.obs = np.zeros((capacity, num_agents, obs_dim))
+        self.actions = np.zeros((capacity, num_agents), dtype=np.int64)
+        self.rewards = np.zeros((capacity, num_agents))
+        self.next_obs = np.zeros((capacity, num_agents, obs_dim))
+        self.dones = np.zeros(capacity)
+        self._index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, obs, actions, rewards, next_obs, done) -> None:
+        i = self._index
+        self.obs[i] = obs
+        self.actions[i] = actions
+        self.rewards[i] = rewards
+        self.next_obs[i] = next_obs
+        self.dones[i] = float(done)
+        self._index = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, self._size, size=min(batch_size, self._size))
+        return {
+            "obs": self.obs[idx],
+            "actions": self.actions[idx],
+            "rewards": self.rewards[idx],
+            "next_obs": self.next_obs[idx],
+            "dones": self.dones[idx],
+        }
+
+
+class ObservationHistoryBuffer:
+    """Rolling history of (state, other-agent options) observations.
+
+    This is the opponent-model dataset D_h^-i of Algorithm 1 line 23: the
+    agent only ever sees *past* states and the options other agents were
+    executing — never their policies.
+    """
+
+    def __init__(self, capacity: int, obs_dim: int, num_opponents: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.obs = np.zeros((capacity, obs_dim))
+        self.options = np.zeros((capacity, num_opponents), dtype=np.int64)
+        self._index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, obs: np.ndarray, other_options: np.ndarray) -> None:
+        i = self._index
+        self.obs[i] = obs
+        self.options[i] = other_options
+        self._index = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, self._size, size=min(batch_size, self._size))
+        return {"obs": self.obs[idx], "options": self.options[idx]}

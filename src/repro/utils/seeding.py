@@ -1,0 +1,35 @@
+"""Deterministic seeding utilities.
+
+Every stochastic component in this repository takes an explicit
+``numpy.random.Generator``; this module provides the conventions for
+deriving independent child generators so experiments are reproducible
+and agents do not share RNG state (which would couple "independent"
+learners in subtle ways).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a generator from an integer seed (or entropy if ``None``)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses numpy's ``SeedSequence.spawn`` so children never collide even when
+    seeds are small consecutive integers.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def child_rng(rng: np.random.Generator, salt: int = 0) -> np.random.Generator:
+    """Fork a fresh generator from an existing one (for lazily-built parts)."""
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (salt * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)

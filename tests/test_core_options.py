@@ -1,0 +1,135 @@
+"""Tests for the options framework and option executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.options import (
+    ACCELERATE,
+    KEEP_LANE,
+    LANE_CHANGE,
+    OPTION_NAMES,
+    SLOW_DOWN,
+    OptionExecutor,
+    OptionSet,
+)
+from repro.envs import StraightTrack, Vehicle
+
+
+@pytest.fixture
+def track():
+    return StraightTrack(20.0, num_lanes=2, lane_width=0.5)
+
+
+@pytest.fixture
+def vehicle(track):
+    v = Vehicle(0, track)
+    v.reset(s=5.0, lane_id=0, speed=0.08)
+    return v
+
+
+class TestOptionSet:
+    def test_four_options(self):
+        options = OptionSet()
+        assert len(options) == 4
+        assert options.names() == OPTION_NAMES
+
+    def test_indices_match_constants(self):
+        options = OptionSet()
+        assert options[KEEP_LANE].name == "keep_lane"
+        assert options[SLOW_DOWN].name == "slow_down"
+        assert options[ACCELERATE].name == "accelerate"
+        assert options[LANE_CHANGE].name == "lane_change"
+
+    def test_bounds_match_paper(self):
+        options = OptionSet()
+        slow = options[SLOW_DOWN].bounds
+        assert (slow.linear_low, slow.linear_high) == (0.04, 0.08)
+        acc = options[ACCELERATE].bounds
+        assert (acc.linear_low, acc.linear_high) == (0.08, 0.14)
+        change = options[LANE_CHANGE].bounds
+        assert (change.linear_low, change.linear_high) == (0.10, 0.20)
+        assert (change.angular_low, change.angular_high) == (0.12, 0.25)
+
+    def test_keep_lane_has_no_bounds(self):
+        assert OptionSet()[KEEP_LANE].bounds is None
+
+    def test_availability_mask_all_on_two_lanes(self, vehicle):
+        mask = OptionSet().available_mask(vehicle)
+        assert mask.all()
+
+    def test_lane_change_unavailable_single_lane(self):
+        track = StraightTrack(20.0, num_lanes=1)
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        mask = OptionSet().available_mask(vehicle)
+        assert mask[KEEP_LANE] and mask[SLOW_DOWN] and mask[ACCELERATE]
+        assert not mask[LANE_CHANGE]
+
+    def test_iteration(self):
+        assert [o.index for o in OptionSet()] == [0, 1, 2, 3]
+
+
+class TestOptionExecutor:
+    def test_fixed_duration_termination(self, vehicle):
+        executor = OptionExecutor(OptionSet(option_duration=3))
+        executor.begin(SLOW_DOWN, vehicle)
+        assert not executor.step(vehicle)
+        assert not executor.step(vehicle)
+        assert executor.step(vehicle)
+
+    def test_step_without_begin_raises(self, vehicle):
+        executor = OptionExecutor(OptionSet())
+        with pytest.raises(RuntimeError):
+            executor.step(vehicle)
+
+    def test_lane_change_targets_other_lane(self, vehicle):
+        executor = OptionExecutor(OptionSet())
+        executor.begin(LANE_CHANGE, vehicle)
+        assert executor.target_lane == 1
+        assert executor.merge_direction(vehicle) == 1.0
+
+    def test_lane_change_from_lane_one(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=1)
+        executor = OptionExecutor(OptionSet())
+        executor.begin(LANE_CHANGE, vehicle)
+        assert executor.target_lane == 0
+        assert executor.merge_direction(vehicle) == -1.0
+
+    def test_lane_change_terminates_on_arrival(self, vehicle, track):
+        executor = OptionExecutor(OptionSet(lane_change_max_steps=10))
+        executor.begin(LANE_CHANGE, vehicle)
+        vehicle.state.d = track.lane_center(1)
+        assert executor.step(vehicle)
+        assert executor.lane_change_succeeded(vehicle)
+
+    def test_lane_change_timeout(self, vehicle):
+        executor = OptionExecutor(OptionSet(lane_change_max_steps=2))
+        executor.begin(LANE_CHANGE, vehicle)
+        assert not executor.step(vehicle)
+        assert executor.step(vehicle)  # timeout fires
+        assert not executor.lane_change_succeeded(vehicle)
+
+    def test_merge_direction_zero_for_other_options(self, vehicle):
+        executor = OptionExecutor(OptionSet())
+        executor.begin(ACCELERATE, vehicle)
+        assert executor.merge_direction(vehicle) == 0.0
+
+    def test_non_lane_change_never_succeeds_merge(self, vehicle):
+        executor = OptionExecutor(OptionSet())
+        executor.begin(KEEP_LANE, vehicle)
+        assert not executor.lane_change_succeeded(vehicle)
+
+    def test_asynchronous_termination_independent(self, track):
+        """Two executors with different options terminate on their own clocks."""
+        v1, v2 = Vehicle(0, track), Vehicle(1, track)
+        v1.reset(s=0.0, lane_id=0)
+        v2.reset(s=2.0, lane_id=1)
+        e1 = OptionExecutor(OptionSet(option_duration=2))
+        e2 = OptionExecutor(OptionSet(option_duration=4))
+        e1.begin(KEEP_LANE, v1)
+        e2.begin(ACCELERATE, v2)
+        fired1 = [e1.step(v1) for _ in range(2)]
+        fired2 = [e2.step(v2) for _ in range(2)]
+        assert fired1 == [False, True]
+        assert fired2 == [False, False]

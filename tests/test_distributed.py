@@ -1,0 +1,274 @@
+"""Tests for the message bus, agent nodes and parameter server."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SACAgent
+from repro.distributed import (
+    AgentNode,
+    DistributedObservationService,
+    MessageBus,
+    OptionAnnouncement,
+    ParameterServer,
+    SharedCriticSynchroniser,
+)
+
+
+def announcement(sender: str, option: int = 0, timestamp: int = 0):
+    return OptionAnnouncement(
+        sender=sender, timestamp=timestamp, option=option, state=np.zeros(2)
+    )
+
+
+class TestMessageBus:
+    def test_register_and_nodes(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        assert bus.nodes == ["a", "b"]
+
+    def test_double_register_rejected(self):
+        bus = MessageBus()
+        bus.register("a")
+        with pytest.raises(ValueError):
+            bus.register("a")
+
+    def test_unknown_recipient_rejected(self):
+        bus = MessageBus()
+        bus.register("a")
+        with pytest.raises(KeyError):
+            bus.send("ghost", announcement("a"))
+
+    def test_zero_latency_delivers_next_step(self):
+        bus = MessageBus(latency_steps=0)
+        bus.register("a")
+        bus.register("b")
+        bus.send("b", announcement("a", option=2))
+        assert bus.pending("b") == 0
+        bus.step()
+        messages = bus.receive("b")
+        assert len(messages) == 1
+        assert messages[0].option == 2
+
+    def test_latency_delays_delivery(self):
+        bus = MessageBus(latency_steps=3)
+        bus.register("a")
+        bus.register("b")
+        bus.send("b", announcement("a"))
+        for _ in range(3):
+            assert bus.receive("b") == []
+            bus.step()
+        assert len(bus.receive("b")) == 1
+
+    def test_broadcast_excludes_sender(self):
+        bus = MessageBus()
+        for node in ("a", "b", "c"):
+            bus.register(node)
+        bus.broadcast(announcement("a"))
+        bus.step()
+        assert bus.receive("a") == []
+        assert len(bus.receive("b")) == 1
+        assert len(bus.receive("c")) == 1
+
+    def test_drop_probability_loses_messages(self):
+        bus = MessageBus(drop_probability=0.5, seed=0)
+        bus.register("a")
+        bus.register("b")
+        for _ in range(200):
+            bus.send("b", announcement("a"))
+        bus.step()
+        received = len(bus.receive("b"))
+        assert 60 < received < 140  # ~100 expected
+        assert bus.stats()["dropped"] == 200 - received
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MessageBus(latency_steps=-1)
+        with pytest.raises(ValueError):
+            MessageBus(drop_probability=1.0)
+
+    def test_messages_to_unregistered_node_vanish(self):
+        bus = MessageBus(latency_steps=1)
+        bus.register("a")
+        bus.register("b")
+        bus.send("b", announcement("a"))
+        bus.unregister("b")
+        bus.step()
+        bus.step()
+        assert bus.stats()["delivered"] == 0
+
+    def test_fifo_order_preserved(self):
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        for option in (1, 2, 3):
+            bus.send("b", announcement("a", option=option))
+        bus.step()
+        options = [m.option for m in bus.receive("b")]
+        assert options == [1, 2, 3]
+
+
+class TestAgentNode:
+    def test_exchange_updates_last_known(self):
+        service = DistributedObservationService(["a", "b", "c"], latency_steps=0)
+        service.exchange(
+            {
+                "a": (1, np.zeros(2)),
+                "b": (3, np.zeros(2)),
+                "c": (2, np.zeros(2)),
+            },
+            timestamp=0,
+        )
+        np.testing.assert_array_equal(service.observed_options("a"), [3, 2])
+        np.testing.assert_array_equal(service.observed_options("b"), [1, 2])
+
+    def test_latency_shows_stale_options(self):
+        service = DistributedObservationService(["a", "b"], latency_steps=2)
+        service.exchange({"a": (1, np.zeros(1)), "b": (2, np.zeros(1))}, 0)
+        # Not yet delivered: defaults (0) still visible.
+        np.testing.assert_array_equal(service.observed_options("a"), [0])
+        service.exchange({"a": (1, np.zeros(1)), "b": (3, np.zeros(1))}, 1)
+        service.exchange({"a": (1, np.zeros(1)), "b": (3, np.zeros(1))}, 2)
+        # Now the first announcement (option 2) has arrived — stale by design.
+        assert service.observed_options("a")[0] in (2, 3)
+
+    def test_history_accumulates(self):
+        service = DistributedObservationService(["a", "b"], latency_steps=0)
+        for t in range(5):
+            service.exchange({"a": (1, np.zeros(1)), "b": (t % 4, np.zeros(1))}, t)
+        node = service.nodes["a"]
+        history = node.history_for("b")
+        assert len(history) == 5
+        assert [o for _, o in history] == [0, 1, 2, 3, 0]
+
+    def test_lossy_bus_keeps_last_known(self):
+        service = DistributedObservationService(
+            ["a", "b"], latency_steps=0, drop_probability=0.9, seed=3
+        )
+        for t in range(50):
+            service.exchange({"a": (1, np.zeros(1)), "b": (2, np.zeros(1))}, t)
+        # Even at 90% loss, some message got through eventually.
+        assert service.observed_options("a")[0] == 2
+
+
+class TestParameterServer:
+    def test_pull_before_aggregate_is_none(self):
+        server = ParameterServer()
+        assert server.pull("critic") is None
+
+    def test_push_aggregate_pull_roundtrip(self):
+        server = ParameterServer()
+        server.push("critic", {"w": np.ones(3)})
+        version = server.aggregate("critic")
+        assert version == 1
+        pulled_version, params = server.pull("critic")
+        assert pulled_version == 1
+        np.testing.assert_array_equal(params["w"], np.ones(3))
+
+    def test_aggregation_averages(self):
+        server = ParameterServer()
+        server.push("critic", {"w": np.zeros(2)})
+        server.push("critic", {"w": np.full(2, 4.0)})
+        server.aggregate("critic")
+        _, params = server.pull("critic")
+        np.testing.assert_array_equal(params["w"], [2.0, 2.0])
+
+    def test_mismatched_structure_rejected(self):
+        server = ParameterServer()
+        server.push("critic", {"w": np.zeros(2)})
+        server.push("critic", {"v": np.zeros(2)})
+        with pytest.raises(ValueError):
+            server.aggregate("critic")
+
+    def test_aggregate_without_pushes_keeps_version(self):
+        server = ParameterServer()
+        server.push("critic", {"w": np.zeros(1)})
+        server.aggregate("critic")
+        assert server.aggregate("critic") == 1
+
+    def test_pull_returns_copies(self):
+        server = ParameterServer()
+        server.push("critic", {"w": np.zeros(2)})
+        server.aggregate("critic")
+        _, params = server.pull("critic")
+        params["w"][:] = 99.0
+        _, params2 = server.pull("critic")
+        np.testing.assert_array_equal(params2["w"], [0.0, 0.0])
+
+    def test_versions_increment(self):
+        server = ParameterServer()
+        for expected in (1, 2, 3):
+            server.push("k", {"w": np.zeros(1)})
+            assert server.aggregate("k") == expected
+
+
+class TestSharedCriticSynchroniser:
+    def _agents(self, n=2):
+        return [
+            SACAgent(
+                obs_dim=3,
+                action_dim=2,
+                rng=np.random.default_rng(i),
+                action_low=-1.0,
+                action_high=1.0,
+                batch_size=8,
+                buffer_capacity=50,
+            )
+            for i in range(n)
+        ]
+
+    def test_sync_period(self):
+        sync = SharedCriticSynchroniser(ParameterServer(), "critic", period=3)
+        agents = self._agents()
+        assert not sync.maybe_sync(agents)
+        assert not sync.maybe_sync(agents)
+        assert sync.maybe_sync(agents)
+
+    def test_sync_equalises_critics(self):
+        sync = SharedCriticSynchroniser(ParameterServer(), "critic", period=1)
+        agents = self._agents()
+        before = [a.critic.q1.trunk.net[0].weight.data.copy() for a in agents]
+        assert not np.allclose(before[0], before[1])
+        sync.maybe_sync(agents)
+        after = [a.critic.q1.trunk.net[0].weight.data for a in agents]
+        np.testing.assert_array_equal(after[0], after[1])
+        np.testing.assert_allclose(after[0], (before[0] + before[1]) / 2)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            SharedCriticSynchroniser(ParameterServer(), "critic", period=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    latency=st.integers(0, 5),
+    n_messages=st.integers(1, 20),
+    seed=st.integers(0, 1000),
+)
+def test_property_lossless_bus_conserves_messages(latency, n_messages, seed):
+    bus = MessageBus(latency_steps=latency, drop_probability=0.0, seed=seed)
+    bus.register("a")
+    bus.register("b")
+    for i in range(n_messages):
+        bus.send("b", announcement("a", option=i % 4))
+    received = []
+    for _ in range(latency + 1):
+        bus.step()
+        received.extend(bus.receive("b"))
+    assert len(received) == n_messages
+
+
+@settings(max_examples=25, deadline=None)
+@given(drop=st.floats(0.0, 0.9), seed=st.integers(0, 1000))
+def test_property_stats_balance(drop, seed):
+    bus = MessageBus(drop_probability=drop, seed=seed)
+    bus.register("a")
+    bus.register("b")
+    for _ in range(50):
+        bus.send("b", announcement("a"))
+    bus.step()
+    bus.receive("b")
+    stats = bus.stats()
+    assert stats["sent"] == stats["dropped"] + stats["delivered"] + stats["in_flight"]

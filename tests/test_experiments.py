@@ -1,0 +1,126 @@
+"""Tests for the experiment harnesses (registry, reporting, tiny runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    curve_summary,
+    episodes_from_scale,
+    print_learning_curves,
+    print_metric_table,
+    shape_check,
+    train_all_methods,
+)
+from repro.experiments.common import bench_scenario
+from repro.experiments.registry import run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == {"fig7", "fig8", "fig10", "fig11", "table2"}
+
+    def test_entries_have_run_and_report(self):
+        for experiment in EXPERIMENTS.values():
+            assert callable(experiment.run)
+            assert callable(experiment.report)
+            assert experiment.title and experiment.workload
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestReporting:
+    def test_curve_summary_fields(self):
+        summary = curve_summary(np.arange(30, dtype=float))
+        assert set(summary) == {"early", "mid", "late", "tail", "final"}
+        assert summary["late"] > summary["early"]
+
+    def test_curve_summary_empty(self):
+        summary = curve_summary(np.array([]))
+        assert all(np.isnan(v) for v in summary.values())
+
+    def test_print_learning_curves_sorted(self, capsys):
+        print_learning_curves(
+            "panel", {"a": np.array([1.0, 1.0]), "b": np.array([2.0, 2.0])}
+        )
+        out = capsys.readouterr().out
+        assert out.index("b ") < out.index("a ")  # higher late value first
+
+    def test_print_metric_table(self, capsys):
+        print_metric_table("t", {"m": {"x": 1.0}}, columns=["x"])
+        assert "1.0000" in capsys.readouterr().out
+
+    def test_shape_check_status(self, capsys):
+        _, ok = shape_check("desc", True)
+        assert ok
+        assert "[OK ]" in capsys.readouterr().out
+        _, ok = shape_check("desc", False, "why")
+        assert not ok
+        assert "MISS" in capsys.readouterr().out
+
+
+class TestCommon:
+    def test_episodes_from_scale(self):
+        assert episodes_from_scale(1.0) == 14_000
+        assert episodes_from_scale(0.01) == 140
+        assert episodes_from_scale(1e-9) == 10  # floor
+
+    def test_bench_scenario_matches_table1_length(self):
+        assert bench_scenario().episode_length == 30
+
+    def test_train_all_methods_tiny(self):
+        """End-to-end smoke: two methods at micro scale."""
+        result = train_all_methods(
+            scale=0.001, seed=0, methods=["hero", "idqn"], skill_scale=0.001
+        )
+        assert set(result.methods) == {"hero", "idqn"}
+        for name in result.methods:
+            rewards = result.series(name, "eval_episode_reward")
+            assert len(rewards) > 0
+            assert np.all(np.isfinite(rewards))
+
+    def test_series_missing_method_raises(self):
+        result = train_all_methods(
+            scale=0.001, seed=0, methods=["idqn"], skill_scale=0.001
+        )
+        with pytest.raises(KeyError):
+            result.series("hero", "episode_reward")
+
+
+class TestFig8Tiny:
+    def test_run_and_report(self):
+        from repro.experiments.fig8 import report_fig8, run_fig8
+
+        outputs = run_fig8(scale=0.002, seed=0)
+        assert len(outputs["a_lane_keeping"]) == episodes_from_scale(0.002)
+        checks = report_fig8(outputs)
+        assert len(checks) >= 2
+
+
+class TestFig10Tiny:
+    def test_run_collects_nll_curves(self):
+        from repro.experiments.fig10 import run_fig10
+
+        result = train_all_methods(
+            scale=0.003, seed=0, methods=["hero"], skill_scale=0.002
+        )
+        outputs = run_fig10(result=result)
+        assert len(outputs["curves"]) == 2  # two modeled opponents
+        for values in outputs["curves"].values():
+            assert np.all(np.isfinite(values))
+
+
+class TestTable2Tiny:
+    def test_rows_cover_methods(self):
+        from repro.experiments.table2 import PAPER_ROWS, run_table2
+
+        result = train_all_methods(
+            scale=0.001, seed=0, methods=["hero", "idqn"], skill_scale=0.001
+        )
+        outputs = run_table2(result=result, eval_episodes=2)
+        assert set(outputs["rows"]) == {"hero", "idqn"}
+        assert set(PAPER_ROWS) == {"hero", "idqn", "coma", "maddpg", "maac"}
+        for metrics in outputs["rows"].values():
+            assert 0.0 <= metrics["collision_rate"] <= 1.0

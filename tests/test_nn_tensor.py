@@ -1,0 +1,333 @@
+"""Unit + property tests for the autodiff engine (repro.nn.tensor).
+
+Correctness strategy: every differentiable op is checked against central
+finite differences on random inputs. If these pass, every learner built on
+top inherits correct gradients.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, stack, where
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x)
+        flat[i] = original - eps
+        down = fn(x)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_unary(op, x: np.ndarray, atol: float = 1e-5) -> None:
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    expected = numeric_grad(lambda v: float(op(Tensor(v)).sum().data), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.x = self.rng.uniform(-2.0, 2.0, size=(4, 3))
+
+    def test_exp(self):
+        check_unary(lambda t: t.exp(), self.x)
+
+    def test_log(self):
+        check_unary(lambda t: t.log(), np.abs(self.x) + 0.5)
+
+    def test_sqrt(self):
+        check_unary(lambda t: t.sqrt(), np.abs(self.x) + 0.5)
+
+    def test_tanh(self):
+        check_unary(lambda t: t.tanh(), self.x)
+
+    def test_sigmoid(self):
+        check_unary(lambda t: t.sigmoid(), self.x)
+
+    def test_relu(self):
+        # Shift away from the kink where finite differences are undefined.
+        x = self.x + np.sign(self.x) * 0.1
+        check_unary(lambda t: t.relu(), x)
+
+    def test_leaky_relu(self):
+        x = self.x + np.sign(self.x) * 0.1
+        check_unary(lambda t: t.leaky_relu(0.1), x)
+
+    def test_softplus(self):
+        check_unary(lambda t: t.softplus(), self.x * 3)
+
+    def test_abs(self):
+        x = self.x + np.sign(self.x) * 0.1
+        check_unary(lambda t: t.abs(), x)
+
+    def test_pow(self):
+        check_unary(lambda t: t**3, self.x)
+
+    def test_neg(self):
+        check_unary(lambda t: -t, self.x)
+
+    def test_clip(self):
+        x = self.x * 2
+        # Avoid evaluating exactly at the clip boundary.
+        x = x[(np.abs(np.abs(x) - 1.0) > 0.05)]
+        check_unary(lambda t: t.clip(-1.0, 1.0), x)
+
+
+class TestBinaryGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(1)
+
+    def _check_pair(self, op, a, b, atol=1e-5):
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        op(ta, tb).sum().backward()
+        ga = numeric_grad(lambda v: float(op(Tensor(v), Tensor(b)).sum().data), a.copy())
+        gb = numeric_grad(lambda v: float(op(Tensor(a), Tensor(v)).sum().data), b.copy())
+        np.testing.assert_allclose(ta.grad, ga, atol=atol, rtol=1e-4)
+        np.testing.assert_allclose(tb.grad, gb, atol=atol, rtol=1e-4)
+
+    def test_add(self):
+        self._check_pair(
+            lambda a, b: a + b,
+            self.rng.standard_normal((3, 4)),
+            self.rng.standard_normal((3, 4)),
+        )
+
+    def test_add_broadcast(self):
+        self._check_pair(
+            lambda a, b: a + b,
+            self.rng.standard_normal((3, 4)),
+            self.rng.standard_normal((4,)),
+        )
+
+    def test_sub(self):
+        self._check_pair(
+            lambda a, b: a - b,
+            self.rng.standard_normal((2, 5)),
+            self.rng.standard_normal((2, 5)),
+        )
+
+    def test_mul_broadcast(self):
+        self._check_pair(
+            lambda a, b: a * b,
+            self.rng.standard_normal((2, 3, 4)),
+            self.rng.standard_normal((1, 3, 1)),
+        )
+
+    def test_div(self):
+        self._check_pair(
+            lambda a, b: a / b,
+            self.rng.standard_normal((3, 3)),
+            self.rng.uniform(0.5, 2.0, size=(3, 3)),
+        )
+
+    def test_matmul(self):
+        self._check_pair(
+            lambda a, b: a @ b,
+            self.rng.standard_normal((3, 4)),
+            self.rng.standard_normal((4, 2)),
+        )
+
+    def test_matmul_batched(self):
+        self._check_pair(
+            lambda a, b: a @ b,
+            self.rng.standard_normal((5, 3, 4)),
+            self.rng.standard_normal((5, 4, 2)),
+        )
+
+    def test_maximum(self):
+        a = self.rng.standard_normal((4, 4))
+        b = a + self.rng.choice([-0.5, 0.5], size=(4, 4))
+        self._check_pair(lambda x, y: x.maximum(y), a, b)
+
+    def test_minimum(self):
+        a = self.rng.standard_normal((4, 4))
+        b = a + self.rng.choice([-0.5, 0.5], size=(4, 4))
+        self._check_pair(lambda x, y: x.minimum(y), a, b)
+
+
+class TestReductionsAndShapes:
+    def setup_method(self):
+        self.rng = np.random.default_rng(2)
+        self.x = self.rng.standard_normal((3, 4, 5))
+
+    def test_sum_all(self):
+        check_unary(lambda t: t.sum(), self.x)
+
+    def test_sum_axis(self):
+        check_unary(lambda t: t.sum(axis=1), self.x)
+
+    def test_sum_keepdims(self):
+        check_unary(lambda t: t.sum(axis=(0, 2), keepdims=True), self.x)
+
+    def test_mean(self):
+        check_unary(lambda t: t.mean(axis=2), self.x)
+
+    def test_max(self):
+        # Perturb so maxima are unique (finite differences break on ties).
+        x = self.x + self.rng.uniform(0, 0.01, self.x.shape)
+        check_unary(lambda t: t.max(axis=1), x)
+
+    def test_min(self):
+        x = self.x + self.rng.uniform(0, 0.01, self.x.shape)
+        check_unary(lambda t: t.min(axis=0), x)
+
+    def test_reshape(self):
+        check_unary(lambda t: (t.reshape(6, 10) ** 2), self.x)
+
+    def test_transpose(self):
+        check_unary(lambda t: t.transpose(2, 0, 1) * 2.0, self.x)
+
+    def test_getitem(self):
+        check_unary(lambda t: t[1:, :2] * 3.0, self.x)
+
+    def test_getitem_int_array(self):
+        idx = np.array([0, 2, 2])
+        check_unary(lambda t: t[idx] * 2.0, self.x)
+
+    def test_gather(self):
+        x = self.rng.standard_normal((4, 6))
+        idx = self.rng.integers(0, 6, size=(4, 1))
+        check_unary(lambda t: t.gather(idx, axis=-1), x)
+
+    def test_squeeze_expand(self):
+        x = self.rng.standard_normal((3, 1, 5))
+        check_unary(lambda t: t.squeeze(1).expand_dims(0), x)
+
+    def test_concatenate(self):
+        a = Tensor(self.rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(self.rng.standard_normal((2, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        out.backward(np.ones((2, 5)))
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3)))
+        np.testing.assert_array_equal(b.grad, np.ones((2, 2)))
+
+    def test_stack(self):
+        a = Tensor(self.rng.standard_normal(4), requires_grad=True)
+        b = Tensor(self.rng.standard_normal(4), requires_grad=True)
+        out = stack([a, b], axis=0) * 2.0
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, 2 * np.ones(4))
+        np.testing.assert_array_equal(b.grad, 2 * np.ones(4))
+
+    def test_where(self):
+        cond = np.array([[True, False], [False, True]])
+        a = Tensor(self.rng.standard_normal((2, 2)), requires_grad=True)
+        b = Tensor(self.rng.standard_normal((2, 2)), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, cond.astype(float))
+        np.testing.assert_array_equal(b.grad, (~cond).astype(float))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_when_reused(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x.detach() * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_no_grad_without_flag(self):
+        x = Tensor(np.array([1.0]))
+        y = x * 2.0
+        y.backward()
+        assert x.grad is None
+
+    def test_backward_shape_mismatch_raises(self):
+        x = Tensor(np.zeros((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            x.backward(np.zeros(3))
+
+    def test_diamond_graph(self):
+        # z = a*b where a = x+1, b = x*2 -> dz/dx = b + 2a = 2x + 2x + 2.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x + 1.0
+        b = x * 2.0
+        (a * b).backward()
+        np.testing.assert_allclose(x.grad, [2 * 3 + 2 * 3 + 2])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y * 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_item_and_repr(self):
+        t = Tensor(np.array(1.5), requires_grad=True)
+        assert t.item() == 1.5
+        assert "requires_grad" in repr(t)
+
+    def test_tensor_exponent_rejected(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            _ = x ** Tensor(np.ones(2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    inner=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_matmul_matches_numeric(rows, inner, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((rows, inner))
+    b = rng.standard_normal((inner, cols))
+    ta = Tensor(a.copy(), requires_grad=True)
+    tb = Tensor(b.copy(), requires_grad=True)
+    ((ta @ tb) ** 2).sum().backward()
+    ga = numeric_grad(lambda v: float(((Tensor(v) @ Tensor(b)) ** 2).sum().data), a.copy())
+    np.testing.assert_allclose(ta.grad, ga, atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 10_000),
+)
+def test_property_chain_rule_composition(shape, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.5, 1.5, size=shape)
+
+    def fn(t):
+        return (t.tanh() * t.sigmoid() + (t * t)).mean()
+
+    t = Tensor(x.copy(), requires_grad=True)
+    fn(t).backward()
+    expected = numeric_grad(lambda v: float(fn(Tensor(v)).data), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=1e-5, rtol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_broadcast_gradients_sum_correctly(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((3, 4))
+    b = rng.standard_normal((4,))
+    ta = Tensor(a.copy(), requires_grad=True)
+    tb = Tensor(b.copy(), requires_grad=True)
+    ((ta * tb) + tb).sum().backward()
+    # d/db sum(a*b + b) = sum_rows(a) + 3
+    np.testing.assert_allclose(tb.grad, a.sum(axis=0) + 3.0, atol=1e-10)
+    np.testing.assert_allclose(ta.grad, np.broadcast_to(b, a.shape), atol=1e-10)

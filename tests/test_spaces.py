@@ -1,0 +1,106 @@
+"""Direct tests for the gym-style space classes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import Box, DictSpace, Discrete
+
+
+class TestBox:
+    def test_scalar_bounds_broadcast(self):
+        box = Box(0.0, 1.0, shape=(3,))
+        assert box.shape == (3,)
+        np.testing.assert_array_equal(box.low, np.zeros(3))
+
+    def test_vector_bounds(self):
+        box = Box([0.0, -1.0], [1.0, 1.0])
+        assert box.dim == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros(2), np.zeros(3))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Box([1.0], [0.0])
+
+    def test_contains(self):
+        box = Box(0.0, 1.0, shape=(2,))
+        assert box.contains(np.array([0.5, 0.5]))
+        assert not box.contains(np.array([1.5, 0.5]))
+        assert not box.contains(np.array([0.5]))  # wrong shape
+
+    def test_sample_inside(self):
+        box = Box(-2.0, 3.0, shape=(4,))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert box.contains(box.sample(rng))
+
+    def test_clip(self):
+        box = Box(0.0, 1.0, shape=(2,))
+        np.testing.assert_array_equal(box.clip([5.0, -5.0]), [1.0, 0.0])
+
+    def test_repr(self):
+        assert "Box" in repr(Box(0.0, 1.0, shape=(2,)))
+
+
+class TestDiscrete:
+    def test_contains(self):
+        space = Discrete(4)
+        assert space.contains(0) and space.contains(3)
+        assert not space.contains(4)
+        assert not space.contains(-1)
+        assert not space.contains("a")
+
+    def test_sample_range(self):
+        space = Discrete(5)
+        rng = np.random.default_rng(0)
+        samples = {space.sample(rng) for _ in range(100)}
+        assert samples <= set(range(5))
+        assert len(samples) == 5
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+    def test_dim_is_n(self):
+        assert Discrete(7).dim == 7
+
+
+class TestDictSpace:
+    def make(self):
+        return DictSpace({"a": Box(0.0, 1.0, shape=(2,)), "b": Discrete(3)})
+
+    def test_sample_structure(self):
+        space = self.make()
+        sample = space.sample(np.random.default_rng(0))
+        assert set(sample) == {"a", "b"}
+
+    def test_contains_checks_keys_and_values(self):
+        space = self.make()
+        good = {"a": np.array([0.5, 0.5]), "b": 1}
+        assert space.contains(good)
+        assert not space.contains({"a": np.array([0.5, 0.5])})  # missing key
+        assert not space.contains({**good, "b": 9})  # bad value
+        assert not space.contains("not a dict")
+
+    def test_getitem(self):
+        space = self.make()
+        assert isinstance(space["b"], Discrete)
+
+    def test_repr(self):
+        assert "DictSpace" in repr(self.make())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    low=st.floats(-10, 0),
+    span=st.floats(0.1, 10),
+    seed=st.integers(0, 1000),
+)
+def test_property_box_samples_always_contained(low, span, seed):
+    box = Box(low, low + span, shape=(3,))
+    rng = np.random.default_rng(seed)
+    assert box.contains(box.sample(rng))

@@ -1,0 +1,199 @@
+"""Tests for scripted traffic, the steering controllers and skill-env traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ScenarioConfig
+from repro.envs import (
+    LaneChangeEnv,
+    LaneKeepingCruiser,
+    LaneKeepingEnv,
+    SlowLeader,
+    StationaryObstacle,
+    StraightTrack,
+    Vehicle,
+    lane_change_command,
+    lane_change_steer_sign,
+    lane_keep_command,
+)
+
+
+@pytest.fixture
+def track():
+    return StraightTrack(20.0, num_lanes=2, lane_width=0.5)
+
+
+class TestScriptedPolicies:
+    def test_slow_leader_constant_speed(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        policy = SlowLeader(speed=0.02)
+        linear, _ = policy.act(vehicle, [vehicle])
+        assert linear == 0.02
+
+    def test_slow_leader_steers_back_to_center(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        vehicle.state.d += 0.1  # drifted left of centre
+        policy = SlowLeader()
+        _, angular = policy.act(vehicle, [vehicle])
+        assert angular < 0  # steer right, back toward the lane centre
+
+    def test_cruiser_brakes_behind_leader(self, track):
+        ego = Vehicle(0, track)
+        leader = Vehicle(1, track)
+        ego.reset(s=0.0, lane_id=0, speed=0.08)
+        leader.reset(s=0.3, lane_id=0, speed=0.01)
+        leader.state.linear_speed = 0.01
+        policy = LaneKeepingCruiser(target_speed=0.08, safe_gap=0.6)
+        linear, _ = policy.act(ego, [ego, leader])
+        assert linear < 0.08
+
+    def test_cruiser_full_speed_when_clear(self, track):
+        ego = Vehicle(0, track)
+        ego.reset(s=0.0, lane_id=0)
+        policy = LaneKeepingCruiser(target_speed=0.08)
+        linear, _ = policy.act(ego, [ego])
+        assert linear == 0.08
+
+    def test_cruiser_ignores_other_lane(self, track):
+        ego = Vehicle(0, track)
+        other = Vehicle(1, track)
+        ego.reset(s=0.0, lane_id=0)
+        other.reset(s=0.3, lane_id=1)
+        policy = LaneKeepingCruiser(target_speed=0.08)
+        linear, _ = policy.act(ego, [ego, other])
+        assert linear == 0.08
+
+    def test_stationary_obstacle(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        assert StationaryObstacle().act(vehicle, [vehicle]) == (0.0, 0.0)
+
+
+class TestSteeringControllers:
+    def test_steer_sign_toward_left_lane(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        assert lane_change_steer_sign(vehicle, target_lane=1) == 1.0
+
+    def test_steer_sign_toward_right_lane(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=1)
+        assert lane_change_steer_sign(vehicle, target_lane=0) == -1.0
+
+    def test_counter_steer_near_target(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=1)  # already at target centre
+        vehicle.state.heading = 0.5  # but still swung out
+        assert lane_change_steer_sign(vehicle, target_lane=1) == -1.0
+
+    def test_command_preserves_magnitude(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        command = lane_change_command(vehicle, 1, linear=0.15, angular_magnitude=-0.2)
+        assert command[0] == 0.15
+        assert abs(command[1]) == pytest.approx(0.2)
+
+    def test_lane_keep_command_clamped(self, track):
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0)
+        vehicle.state.d += 10.0  # absurd error
+        command = lane_keep_command(vehicle, 0.08, max_angular=0.1)
+        assert abs(command[1]) <= 0.1
+
+    def test_closed_loop_lane_change_converges(self, track):
+        """Driving the controller in closed loop completes the merge."""
+        vehicle = Vehicle(0, track)
+        vehicle.reset(s=0.0, lane_id=0, speed=0.1)
+        for _ in range(40):
+            command = lane_change_command(vehicle, 1, 0.12, 0.2)
+            vehicle.apply_action(command[0], command[1], dt=0.5)
+        assert vehicle.lane_id == 1
+        assert vehicle.lane_deviation < 0.1
+
+
+class TestSkillEnvTraffic:
+    def test_obstacle_always_spawns_at_probability_one(self):
+        env = LaneChangeEnv()  # default obstacle_probability=1.0
+        for seed in range(5):
+            env.reset(seed=seed)
+            assert len(env.obstacles) == 1
+
+    def test_obstacle_never_spawns_at_probability_zero(self):
+        env = LaneKeepingEnv(obstacle_probability=0.0)
+        for seed in range(5):
+            env.reset(seed=seed)
+            assert env.obstacles == []
+
+    def test_obstacle_in_start_lane_ahead(self):
+        env = LaneChangeEnv()
+        env.reset(seed=0)
+        obstacle = env.obstacles[0]
+        assert obstacle.lane_id == env._start_lane
+        gap = env.track.signed_gap(env.ego.state.s, obstacle.state.s)
+        assert 0.0 < gap < 2.0
+
+    def test_hitting_obstacle_fails_lane_change(self):
+        env = LaneChangeEnv()
+        env.reset(seed=0)
+        # Teleport the obstacle onto the ego.
+        env.obstacles[0].state.s = env.ego.state.s + 0.05
+        env.obstacles[0].state.d = env.ego.state.d
+        _, reward, done, info = env.step(np.array([0.1, 0.12]))
+        assert done and not info["success"]
+        assert reward == pytest.approx(env.rewards.lane_change_fail_penalty)
+
+    def test_hitting_obstacle_penalised_in_lane_keeping(self):
+        env = LaneKeepingEnv(obstacle_probability=1.0)
+        env.reset(seed=0)
+        env.obstacles[0].state.s = env.ego.state.s + 0.05
+        env.obstacles[0].state.d = env.ego.state.d
+        _, reward, done, info = env.step(np.array([0.08, 0.0]))
+        assert done and info["crashed"]
+        assert reward < env.rewards.collision_penalty / 2
+
+    def test_obstacles_visible_in_features(self):
+        env = LaneKeepingEnv(obstacle_probability=1.0)
+        obs_with = env.reset(seed=3)
+        env_clear = LaneKeepingEnv(obstacle_probability=0.0)
+        obs_without = env_clear.reset(seed=3)
+        # Forward-gap feature differs when an obstacle is ahead in-lane.
+        assert not np.allclose(obs_with[:-1], obs_without[:-1])
+
+    def test_obstacles_advance_each_step(self):
+        env = LaneKeepingEnv(obstacle_probability=1.0)
+        env.reset(seed=0)
+        s_before = env.obstacles[0].state.s
+        env.step(np.array([0.05, 0.0]))
+        assert env.track.forward_gap(s_before, env.obstacles[0].state.s) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    start_lane=st.integers(0, 1),
+    d_offset=st.floats(-0.2, 0.2),
+    heading=st.floats(-0.5, 0.5),
+)
+def test_property_steer_sign_reduces_tracking_error(start_lane, d_offset, heading):
+    """One controller step never increases the desired-heading error."""
+    track = StraightTrack(20.0)
+    vehicle = Vehicle(0, track)
+    vehicle.reset(s=0.0, lane_id=start_lane)
+    vehicle.state.d += d_offset
+    vehicle.state.heading = heading
+    target = 1 - start_lane
+
+    def heading_error():
+        target_d = track.lane_center(target)
+        desired = float(np.clip(3.0 * (target_d - vehicle.state.d), -0.7, 0.7))
+        return abs(desired - vehicle.state.heading)
+
+    before = heading_error()
+    sign = lane_change_steer_sign(vehicle, target)
+    vehicle.apply_action(0.12, sign * 0.15, dt=0.2)
+    # Small step in the commanded direction: error shrinks or stays put
+    # (up to the kinematic coupling of d and heading).
+    assert heading_error() <= before + 0.12
