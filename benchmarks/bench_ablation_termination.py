@@ -12,11 +12,11 @@ import os
 
 import numpy as np
 
-from repro.config import RewardConfig, TrainingConfig
+from repro.config import TrainingConfig
 from repro.core import HeroTeam, OptionSet, train_hero, train_low_level_skills
 from repro.envs import CooperativeLaneChangeEnv
 from repro.experiments.common import bench_scenario, episodes_from_scale
-from repro.experiments.reporting import curve_summary, print_learning_curves
+from repro.experiments.reporting import print_learning_curves
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
 DURATIONS = (1, 3, 6)

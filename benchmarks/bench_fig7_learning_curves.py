@@ -9,9 +9,8 @@ takes at any scale).
 """
 
 import numpy as np
-import pytest
 
-from repro.envs import CooperativeLaneChangeEnv, make_baseline_env
+from repro.envs import make_baseline_env
 from repro.experiments.fig7 import PANELS, report_fig7, run_fig7
 
 

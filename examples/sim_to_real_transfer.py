@@ -32,7 +32,7 @@ def main() -> None:
 
     # In-simulation reference numbers first.
     print("\nIn-simulation evaluation:")
-    from repro.envs import CooperativeLaneChangeEnv, make_baseline_env
+    from repro.envs import make_baseline_env
 
     for name, trained in result.methods.items():
         if name == "hero":

@@ -26,10 +26,19 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def _cmd_run(args) -> int:
     from .experiments import run_experiment
 
-    run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    run_experiment(
+        args.experiment, scale=args.scale, seed=args.seed, num_envs=args.num_envs
+    )
     return 0
 
 
@@ -38,7 +47,7 @@ def _cmd_run_all(args) -> int:
 
     for exp_id in sorted(EXPERIMENTS):
         print(f"\n######## {exp_id} ########")
-        run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        run_experiment(exp_id, scale=args.scale, seed=args.seed, num_envs=args.num_envs)
     return 0
 
 
@@ -82,11 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="fig7 | fig8 | fig10 | fig11 | table2")
     run.add_argument("--scale", type=float, default=0.01)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--num-envs",
+        type=_positive_int,
+        default=1,
+        help="vectorized env copies for HERO rollouts (1 = scalar loop)",
+    )
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment harness")
     run_all.add_argument("--scale", type=float, default=0.01)
     run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument(
+        "--num-envs",
+        type=_positive_int,
+        default=1,
+        help="vectorized env copies for HERO rollouts (1 = scalar loop)",
+    )
     run_all.set_defaults(func=_cmd_run_all)
 
     watch = sub.add_parser("watch", help="render a scripted episode as ASCII")

@@ -122,6 +122,10 @@ class TrainingConfig:
     rewards: RewardConfig = field(default_factory=RewardConfig)
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     seed: int = 0
+    # Number of vectorized environment copies the rollout phase steps in
+    # parallel (1 = the scalar loop; >1 uses envs.vector_env.VectorEnv with
+    # batched policy inference).
+    num_envs: int = 1
     epsilon_start: float = 1.0
     epsilon_end: float = 0.05
     epsilon_decay_episodes: int = 2_000

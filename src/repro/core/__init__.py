@@ -4,6 +4,7 @@ Hierarchical reinforcement learning with high-level option selection,
 opponent modeling, and low-level SAC skills.
 """
 
+from .batched import BatchedHeroRunner
 from .hero import HeroAgent, HeroTeam
 from .high_level import HighLevelAgent
 from .low_level import SACAgent, SkillLibrary, train_skill
@@ -19,11 +20,18 @@ from .options import (
     OptionExecutor,
     OptionSet,
 )
-from .trainer import evaluate_hero, train_hero, train_low_level_skills
+from .trainer import (
+    BatchedRolloutWorker,
+    evaluate_hero,
+    train_hero,
+    train_low_level_skills,
+)
 from .vision import VisionEncoder, VisionSACAgent, train_vision_skill
 
 __all__ = [
     "ACCELERATE",
+    "BatchedHeroRunner",
+    "BatchedRolloutWorker",
     "HeroAgent",
     "HeroTeam",
     "HighLevelAgent",

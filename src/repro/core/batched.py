@@ -1,0 +1,418 @@
+"""Batched policy inference for vectorized rollouts.
+
+:class:`BatchedHeroRunner` drives one :class:`~repro.core.hero.HeroTeam`
+across the ``N`` environments of a
+:class:`~repro.envs.vector_env.VectorEnv`.  Where the scalar team loops
+Python per agent per env, the runner flattens everything into stacked
+arrays:
+
+* low-level skill execution is a single ``(N * agents, obs_dim)`` forward
+  pass per shared skill network,
+* high-level option selection batches, per agent, every environment whose
+  option just terminated through one actor forward,
+* opponent intention inference goes through the opponent model's batched
+  ``predict_probs_batch`` instead of per-env single-row calls.
+
+Semantics match the scalar :class:`~repro.core.hero.HeroAgent` option
+machinery (asynchronous termination, SMDP transition accounting, the
+keep-lane coast rule) with one documented difference: option selections
+within a step see the *pre-step* options of the other agents, whereas the
+scalar team's sequential loop lets later agents observe earlier agents'
+same-step re-selections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import OptionBounds
+from ..envs.control import HEADING_CAP, HEADING_GAIN
+from ..envs.vector_env import VectorEnv
+from ..nn import one_hot, sample_categorical
+from ..training.replay import OptionTransition
+from .hero import HeroTeam
+from .opponent_model import WindowedOpponentModel
+from .options import KEEP_LANE, LANE_CHANGE, _always, _can_change_lane
+
+__all__ = ["BatchedHeroRunner"]
+
+
+class BatchedHeroRunner:
+    """Vectorized acting/learning plumbing for one team over N envs."""
+
+    def __init__(self, team: HeroTeam, vec_env: VectorEnv):
+        if vec_env.scenario.observation_mode != "features":
+            raise ValueError(
+                "BatchedHeroRunner requires observation_mode='features'"
+            )
+        if team.observation_service is not None:
+            raise ValueError(
+                "BatchedHeroRunner reads opponents' options directly and "
+                "would silently bypass the team's DistributedObservationService "
+                "(delayed/lossy bus observations); use the scalar rollout loop "
+                "for the distributed DTDE setting"
+            )
+        for agent in team.agents.values():
+            if isinstance(agent.high_level.opponent_model, WindowedOpponentModel):
+                raise ValueError(
+                    "WindowedOpponentModel keeps a single rolling window and "
+                    "cannot be fed interleaved env streams; use the base "
+                    "OpponentModel with vectorized rollouts"
+                )
+        self.team = team
+        self.vec_env = vec_env
+        self.agents = list(team.env.agents)
+        self.option_set = team.option_set
+        self.num_envs = vec_env.num_envs
+        self.num_agents = vec_env.num_agents
+        self.num_options = self.option_set.num_options
+        self.num_opponents = self.num_agents - 1
+
+        track = vec_env.envs[0].track
+        self._track = track
+        self._lane_centers = np.array(
+            [track.lane_center(lane) for lane in range(track.num_lanes)]
+        )
+        # The default option set's initiation predicates depend only on the
+        # track, so availability is one static mask.  A custom predicate
+        # could inspect per-step vehicle state, which a mask baked at
+        # construction would silently freeze — reject it like the other
+        # unsupported configurations.
+        for option in self.option_set:
+            if option.initiation not in (_always, _can_change_lane):
+                raise ValueError(
+                    f"option {option.name!r} has a custom initiation "
+                    "predicate; the batched runner precomputes a static "
+                    "availability mask and cannot evaluate state-dependent "
+                    "initiation sets — use the scalar rollout loop"
+                )
+        probe = vec_env.envs[0].vehicle(self.agents[0])
+        self._available = np.array(
+            [option.can_initiate(probe) for option in self.option_set]
+        )
+
+        n, a = self.num_envs, self.num_agents
+        obs_dim = vec_env.high_level_obs_dim
+        self._option = np.full((n, a), KEEP_LANE, dtype=np.int64)
+        self._steps_in_option = np.zeros((n, a), dtype=np.int64)
+        self._start_lane = np.zeros((n, a), dtype=np.int64)
+        self._target_lane = np.zeros((n, a), dtype=np.int64)
+        self._acc_reward = np.zeros((n, a))
+        self._needs_new = np.ones((n, a), dtype=bool)
+        self._pending_valid = np.zeros((n, a), dtype=bool)
+        self._pending_obs = np.zeros((n, a, obs_dim))
+        self._pending_other = np.zeros((n, a, max(self.num_opponents, 1)), np.int64)
+        self._observed_other = np.zeros((n, a, max(self.num_opponents, 1)), np.int64)
+        self._last_action = np.zeros((n, a, 2))
+        self.lane_change_attempts = np.zeros(n, dtype=np.int64)
+        self.lane_change_successes = np.zeros(n, dtype=np.int64)
+        self.start_all()
+
+    # ------------------------------------------------------------------
+    # Episode lifecycle
+    # ------------------------------------------------------------------
+    def start_all(self) -> None:
+        for i in range(self.num_envs):
+            self.start_episode(i)
+
+    def start_episode(self, i: int) -> None:
+        """Reset per-env execution state (mirrors HeroAgent.start_episode)."""
+        self._option[i] = KEEP_LANE
+        self._steps_in_option[i] = 0
+        self._acc_reward[i] = 0.0
+        self._needs_new[i] = True
+        self._pending_valid[i] = False
+        self._last_action[i] = (self.vec_env.scenario.initial_speed, 0.0)
+        self.lane_change_attempts[i] = 0
+        self.lane_change_successes[i] = 0
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+    def act(
+        self,
+        obs: dict[str, np.ndarray],
+        epsilon: float | np.ndarray = 0.0,
+        explore: bool = True,
+    ) -> np.ndarray:
+        """Batched primitive actions for every (env, agent) pair.
+
+        ``epsilon`` may be a scalar or a per-env ``(num_envs,)`` array (each
+        env can sit at a different point of the exploration schedule).
+        Returns actions of shape ``(num_envs, num_agents, 2)``.
+        """
+        high = VectorEnv.flatten_high(obs)  # (n, a, Dh)
+        lane = obs["lane_onehot"].argmax(axis=-1)  # (n, a)
+        epsilon = np.broadcast_to(np.asarray(epsilon, dtype=np.float64), (self.num_envs,))
+
+        if self._needs_new.any():
+            self._select_options(high, lane, epsilon, explore)
+        return self._low_level_actions(obs, lane, explore)
+
+    def _select_options(
+        self,
+        high: np.ndarray,
+        lane: np.ndarray,
+        epsilon: np.ndarray,
+        explore: bool,
+    ) -> None:
+        options_before = self._option.copy()
+        for k, agent_id in enumerate(self.agents):
+            rows = np.flatnonzero(self._needs_new[:, k])
+            if rows.size == 0:
+                continue
+            hl = self.team.agents[agent_id].high_level
+            obs_rows = high[rows, k]
+            self._flush(k, rows, next_obs=obs_rows, done=False)
+
+            rep = self._opponent_rep(hl, obs_rows, rows, k)
+            logits = hl.actor.logits_inference(
+                np.concatenate([obs_rows, rep], axis=-1)
+            )
+            logits = np.where(self._available, logits, -1e9)
+            if explore:
+                chosen = sample_categorical(logits, hl._rng)
+                random_mask = hl._rng.uniform(size=rows.size) < epsilon[rows]
+                if random_mask.any():
+                    choices = np.flatnonzero(self._available)
+                    chosen = np.where(
+                        random_mask,
+                        hl._rng.choice(choices, size=rows.size),
+                        chosen,
+                    )
+            else:
+                chosen = logits.argmax(axis=-1)
+            chosen = np.asarray(chosen, dtype=np.int64)
+
+            start_lane = lane[rows, k]
+            target_lane = start_lane.copy()
+            changing = chosen == LANE_CHANGE
+            if self._track.num_lanes == 2:
+                target_lane[changing] = 1 - start_lane[changing]
+            elif self._track.num_lanes > 1:
+                target_lane[changing] = (
+                    start_lane[changing] + 1
+                ) % self._track.num_lanes
+
+            self._option[rows, k] = chosen
+            self._start_lane[rows, k] = start_lane
+            self._target_lane[rows, k] = target_lane
+            self._steps_in_option[rows, k] = 0
+            self._acc_reward[rows, k] = 0.0
+            self._needs_new[rows, k] = False
+            self._pending_valid[rows, k] = True
+            self._pending_obs[rows, k] = obs_rows
+            if self.num_opponents:
+                others = [j for j in range(self.num_agents) if j != k]
+                self._pending_other[rows, k] = options_before[rows][:, others]
+            self.lane_change_attempts += np.bincount(
+                rows[changing], minlength=self.num_envs
+            )
+
+    def _opponent_rep(
+        self, hl, obs_rows: np.ndarray, rows: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Batched opponent-intention representation (one actor's view)."""
+        batch = len(obs_rows)
+        if hl.num_opponents == 0:
+            return np.zeros((batch, 0))
+        if hl.opponent_mode == "model":
+            return hl.opponent_model.predict_probs_batch(obs_rows).reshape(batch, -1)
+        if hl.opponent_mode == "observed":
+            return one_hot(self._observed_other[rows, k], hl.num_options).reshape(
+                batch, -1
+            )
+        return np.zeros((batch, hl.num_opponents * hl.num_options))
+
+    # ------------------------------------------------------------------
+    # Low-level skill execution (the (N*agents, obs) forward passes)
+    # ------------------------------------------------------------------
+    def _low_level_actions(
+        self, obs: dict[str, np.ndarray], lane: np.ndarray, explore: bool
+    ) -> np.ndarray:
+        n, a = self.num_envs, self.num_agents
+        track = self._track
+        merge_direction = np.where(
+            self._option == LANE_CHANGE,
+            np.sign(self._target_lane - self._start_lane).astype(np.float64),
+            0.0,
+        )
+        obs_low = np.concatenate(
+            [
+                obs["features"],
+                obs["speed"],
+                obs["lane_onehot"],
+                merge_direction[..., None],
+            ],
+            axis=-1,
+        ).reshape(n * a, -1)
+
+        # Recover pose from the feature vector (feature 0 is the signed lane
+        # deviation normalised by lane width, feature 1 the heading error).
+        deviation = obs["features"][..., 0].reshape(-1) * track.lane_width
+        heading = obs["features"][..., 1].reshape(-1)
+        lane_flat = lane.reshape(-1)
+        d = deviation + self._lane_centers[lane_flat]
+
+        option_flat = self._option.reshape(-1)
+        actions = np.zeros((n * a, 2))
+
+        # Keep-lane: coast at the previous linear speed with lane-centering
+        # steering (HeroAgent's fallback when the skill returns None).
+        keep = np.flatnonzero(option_flat == KEEP_LANE)
+        if keep.size:
+            lateral_error = self._lane_centers[lane_flat[keep]] - d[keep]
+            angular = 0.8 * lateral_error - 1.5 * 0.8 * heading[keep]
+            actions[keep, 0] = self._last_action.reshape(-1, 2)[keep, 0]
+            actions[keep, 1] = np.clip(angular, -0.1, 0.1)
+
+        # Driving-in-lane skill executes slow-down and accelerate (shared
+        # network, per-option bounds).
+        driving = np.flatnonzero((option_flat != KEEP_LANE) & (option_flat != LANE_CHANGE))
+        if driving.size:
+            raw = self._skill_forward(self.team.skills.driving_in_lane, obs_low[driving], explore)
+            for option_index in np.unique(option_flat[driving]):
+                rows = driving[option_flat[driving] == option_index]
+                bounds = self.option_set[int(option_index)].bounds
+                actions[rows] = self._clip_bounds(raw[option_flat[driving] == option_index], bounds)
+
+        changing = np.flatnonzero(option_flat == LANE_CHANGE)
+        if changing.size:
+            raw = self._skill_forward(self.team.skills.lane_change, obs_low[changing], explore)
+            bounded = self._clip_bounds(raw, self.option_set[LANE_CHANGE].bounds)
+            # Steering sign from the merge-direction controller
+            # (repro.envs.control.lane_change_steer_sign, vectorized).
+            target_d = self._lane_centers[self._target_lane.reshape(-1)[changing]]
+            desired = np.clip(
+                HEADING_GAIN * (target_d - d[changing]), -HEADING_CAP, HEADING_CAP
+            )
+            heading_error = desired - heading[changing]
+            sign = np.where(np.abs(heading_error) <= 1e-6, 0.0, np.sign(heading_error))
+            actions[changing, 0] = bounded[:, 0]
+            actions[changing, 1] = sign * np.abs(bounded[:, 1])
+
+        actions = actions.reshape(n, a, 2)
+        self._last_action = actions.copy()
+        return actions
+
+    @staticmethod
+    def _skill_forward(skill, obs_rows: np.ndarray, explore: bool) -> np.ndarray:
+        """One batched SAC-actor forward for every row needing this skill."""
+        return skill.actor.act_batch(obs_rows, skill._rng if explore else None)
+
+    @staticmethod
+    def _clip_bounds(raw: np.ndarray, bounds: OptionBounds | None) -> np.ndarray:
+        """Vectorized SkillLibrary.act bounds clipping (sign-preserving)."""
+        if bounds is None:
+            return raw
+        low, high = bounds.as_arrays()
+        out = np.empty_like(raw)
+        out[:, 0] = np.clip(raw[:, 0], low[0], high[0])
+        if low[1] >= 0.0:
+            sign = np.sign(raw[:, 1])
+            sign = np.where(sign == 0.0, 1.0, sign)
+            out[:, 1] = sign * np.clip(np.abs(raw[:, 1]), low[1], high[1])
+        else:
+            out[:, 1] = np.clip(raw[:, 1], low[1], high[1])
+        return out
+
+    # ------------------------------------------------------------------
+    # Learning plumbing
+    # ------------------------------------------------------------------
+    def after_step(
+        self,
+        next_obs: dict[str, np.ndarray],
+        rewards: np.ndarray,
+        dones: np.ndarray,
+        infos: list[dict],
+    ) -> list[dict]:
+        """Account rewards/termination and store finished SMDP transitions.
+
+        Returns one stats dict per env that finished an episode this step
+        (episode summary plus the env's lane-change counters).
+        """
+        next_high = VectorEnv.flatten_high(next_obs)  # reset obs for done envs
+        done_idx = np.flatnonzero(dones)
+        terminal_high = next_high.copy()
+        for i in done_idx:
+            term = infos[i]["terminal_observation"]
+            terminal_high[i] = np.concatenate(
+                [term["lidar"], term["speed"], term["lane_onehot"]], axis=-1
+            )
+
+        self._acc_reward += np.asarray(rewards)[:, None]
+        self._steps_in_option += 1
+
+        # Asynchronous option termination (vectorized OptionSet betas).
+        lane = self.vec_env.lane_ids
+        deviation = self.vec_env.lane_deviation
+        reached = (lane == self._target_lane) & (
+            deviation < 0.25 * self._track.lane_width
+        )
+        is_change = self._option == LANE_CHANGE
+        terminated = np.where(
+            is_change,
+            reached | (self._steps_in_option >= self.option_set.lane_change_max_steps),
+            self._steps_in_option >= self.option_set.option_duration,
+        )
+        success = terminated & is_change & reached
+        self.lane_change_successes += success.sum(axis=1)
+
+        self._record_observations(terminal_high)
+
+        stats: list[dict] = []
+        for i in done_idx:
+            for k in range(self.num_agents):
+                self._flush(k, np.array([i]), next_obs=terminal_high[[i], k], done=True)
+            stats.append(
+                {
+                    "env": int(i),
+                    "episode": infos[i]["episode"],
+                    "lane_change_attempts": int(self.lane_change_attempts[i]),
+                    "lane_change_successes": int(self.lane_change_successes[i]),
+                }
+            )
+            self.start_episode(i)
+        live = np.ones(self.num_envs, dtype=bool)
+        live[done_idx] = False
+        self._needs_new |= terminated & live[:, None]
+        return stats
+
+    def _record_observations(self, next_high: np.ndarray) -> None:
+        """Feed every agent's opponent-model history (batched bookkeeping)."""
+        if not self.num_opponents:
+            return
+        for k, agent_id in enumerate(self.agents):
+            hl = self.team.agents[agent_id].high_level
+            others = [j for j in range(self.num_agents) if j != k]
+            observed = self._option[:, others]
+            self._observed_other[:, k] = observed
+            # Keep the scalar-path field meaningful for update()-time reps.
+            hl._last_observed_options = observed[0].copy()
+            if hl.opponent_mode == "model":
+                for i in range(self.num_envs):
+                    hl.opponent_model.record(next_high[i, k], observed[i])
+
+    def _flush(self, k: int, rows: np.ndarray, next_obs: np.ndarray, done: bool) -> None:
+        """Store completed SMDP transitions for agent ``k`` in ``rows``."""
+        hl = self.team.agents[self.agents[k]].high_level
+        for idx, i in enumerate(rows):
+            if not self._pending_valid[i, k] or self._steps_in_option[i, k] == 0:
+                continue
+            other = (
+                self._pending_other[i, k].copy()
+                if self.num_opponents
+                else np.zeros(1, dtype=np.int64)
+            )
+            hl.store_transition(
+                OptionTransition(
+                    obs=self._pending_obs[i, k].copy(),
+                    option=int(self._option[i, k]),
+                    other_options=other,
+                    reward=float(self._acc_reward[i, k]),
+                    next_obs=next_obs[idx].copy(),
+                    done=done,
+                    steps=int(self._steps_in_option[i, k]),
+                )
+            )
+            self._pending_valid[i, k] = False

@@ -191,11 +191,11 @@ class HighLevelAgent:
         # --- Critic: SMDP TD target with policy/option-model probabilities.
         next_other_rep = self._opponent_rep_batch(batch["next_obs"])
         next_actor_in = np.concatenate([batch["next_obs"], next_other_rep], axis=-1)
-        next_own_probs = self.actor.probs(next_actor_in).data
+        next_own_probs = self.actor.probs_inference(next_actor_in)
         target_in = self._critic_input(
             batch["next_obs"], next_own_probs, next_other_rep
         )
-        next_q = self.target_critic(target_in).data[:, 0]
+        next_q = self.target_critic.infer(target_in)[:, 0]
         discount = self.gamma ** batch["steps"]
         y = batch["rewards"] + discount * (1.0 - batch["dones"]) * next_q
 
@@ -219,15 +219,17 @@ class HighLevelAgent:
         log_probs = log_softmax(logits, axis=-1)
         probs = log_probs.exp()
 
+        # No gradient flows through the critic here (the advantage enters
+        # the actor loss as data), so the inference path suffices.
         q_all = np.stack(
             [
-                self.critic(
+                self.critic.infer(
                     self._critic_input(
                         batch["obs"],
                         one_hot(np.full(batch_size, o), self.num_options),
                         other_onehot,
                     )
-                ).data[:, 0]
+                )[:, 0]
                 for o in range(self.num_options)
             ],
             axis=1,

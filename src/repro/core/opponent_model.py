@@ -83,15 +83,20 @@ class OpponentModel:
             return np.zeros((0, self.num_options))
         obs = np.asarray(obs, dtype=np.float64).reshape(1, -1)
         return np.stack(
-            [predictor.probs(obs).data[0] for predictor in self.predictors]
+            [predictor.probs_inference(obs)[0] for predictor in self.predictors]
         )
 
     def predict_probs_batch(self, obs: np.ndarray) -> np.ndarray:
-        """Batched probabilities, shape (batch, num_opponents, num_options)."""
+        """Batched probabilities, shape (batch, num_opponents, num_options).
+
+        Inference only (no autograd graph); numerically identical to the
+        Tensor path — this feeds both rollout-time intention inference and
+        the critic's TD-target opponent representation.
+        """
         if self.num_opponents == 0:
             return np.zeros((len(obs), 0, self.num_options))
         return np.stack(
-            [predictor.probs(obs).data for predictor in self.predictors], axis=1
+            [predictor.probs_inference(obs) for predictor in self.predictors], axis=1
         )
 
     def predict_log_probs_batch(self, obs: np.ndarray) -> np.ndarray:

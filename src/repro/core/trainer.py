@@ -2,7 +2,11 @@
 
 :func:`train_low_level_skills` runs Algorithm 2 for both skills;
 :func:`train_hero` runs Algorithm 1 on the cooperative lane-change game,
-recording the paper's four evaluation metrics per episode.
+recording the paper's four evaluation metrics per episode.  With
+``num_envs > 1`` the rollout phase runs on a
+:class:`~repro.envs.vector_env.VectorEnv` through
+:class:`BatchedRolloutWorker`, which fills the same replay buffers from
+vectorized rollouts with batched policy inference.
 """
 
 from __future__ import annotations
@@ -12,8 +16,10 @@ import numpy as np
 from ..config import TrainingConfig
 from ..envs.lane_change_env import CooperativeLaneChangeEnv
 from ..envs.skill_envs import LaneChangeEnv, LaneKeepingEnv, low_level_obs_dim
+from ..envs.vector_env import VectorEnv
 from ..utils.logging_utils import MetricLogger
 from ..utils.schedule import LinearSchedule
+from .batched import BatchedHeroRunner
 from .hero import HeroTeam
 from .low_level import SkillLibrary, train_skill
 
@@ -57,6 +63,75 @@ def train_low_level_skills(
     return skills, logger
 
 
+class BatchedRolloutWorker:
+    """Fills the team's replay buffers from vectorized rollouts.
+
+    Wraps a :class:`~repro.envs.vector_env.VectorEnv` and a
+    :class:`~repro.core.batched.BatchedHeroRunner`; every call to
+    :meth:`collect` advances all environments synchronously with batched
+    policy inference and returns the episodes that finished, tagged with
+    the episode index each env was running (so per-episode schedules such
+    as epsilon annealing stay well defined).
+    """
+
+    def __init__(
+        self,
+        vec_env: VectorEnv,
+        team: HeroTeam,
+        runner: BatchedHeroRunner | None = None,
+    ):
+        self.vec_env = vec_env
+        self.team = team
+        self.runner = runner or BatchedHeroRunner(team, vec_env)
+        self._obs: dict[str, np.ndarray] | None = None
+        self._episode_of_env = np.arange(vec_env.num_envs)
+        self._episodes_started = vec_env.num_envs
+
+    @property
+    def episode_indices(self) -> np.ndarray:
+        """Episode index each env is currently rolling out."""
+        return self._episode_of_env
+
+    def reset(self, seeds=None) -> None:
+        self._obs = self.vec_env.reset(seeds)
+        self.runner.start_all()
+        self._episode_of_env = np.arange(self.vec_env.num_envs)
+        self._episodes_started = self.vec_env.num_envs
+
+    def collect(
+        self,
+        epsilon_schedule,
+        explore: bool = True,
+        max_steps: int | None = None,
+    ) -> list[dict]:
+        """Step the vector env until at least one episode finishes.
+
+        ``epsilon_schedule`` maps an episode index to an exploration rate.
+        Returns the finished episodes' stats (see
+        :meth:`BatchedHeroRunner.after_step`) with an ``"episode_index"``
+        entry added.
+        """
+        if self._obs is None:
+            self.reset()
+        steps = 0
+        while True:
+            epsilon = np.array(
+                [epsilon_schedule(int(e)) for e in self._episode_of_env]
+            )
+            actions = self.runner.act(self._obs, epsilon=epsilon, explore=explore)
+            self._obs, rewards, dones, infos = self.vec_env.step(actions)
+            stats = self.runner.after_step(self._obs, rewards, dones, infos)
+            for stat in stats:
+                env_index = stat["env"]
+                stat["episode_index"] = int(self._episode_of_env[env_index])
+                stat["epsilon"] = float(epsilon[env_index])
+                self._episode_of_env[env_index] = self._episodes_started
+                self._episodes_started += 1
+            steps += 1
+            if stats or (max_steps is not None and steps >= max_steps):
+                return stats
+
+
 def train_hero(
     env: CooperativeLaneChangeEnv,
     team: HeroTeam,
@@ -67,6 +142,7 @@ def train_hero(
     metric_prefix: str = "hero",
     eval_every: int | None = None,
     eval_episodes: int = 3,
+    num_envs: int | None = None,
 ) -> MetricLogger:
     """Algorithm 1: train the high-level cooperative strategy.
 
@@ -78,8 +154,15 @@ def train_hero(
     ``eval_every`` (default: episodes // 40) interleaves short greedy
     evaluations and logs them as ``{prefix}/eval_*`` — these are the
     exploration-free learning curves Fig. 7 plots.
+
+    ``num_envs > 1`` collects rollouts from that many vectorized
+    environment copies with batched policy inference; updates, logging and
+    evaluation cadence stay per-episode as in the scalar loop.  When the
+    argument is omitted it defaults to ``config.num_envs``.
     """
     config = config or TrainingConfig()
+    if num_envs is None:
+        num_envs = config.num_envs
     logger = logger or MetricLogger()
     rng = np.random.default_rng(config.seed + 12345)
     epsilon_schedule = LinearSchedule(
@@ -92,6 +175,21 @@ def train_hero(
     )
     if eval_every is None:
         eval_every = max(episodes // 40, 1)
+    if num_envs > 1:
+        return _train_hero_vectorized(
+            env,
+            team,
+            episodes,
+            num_envs=num_envs,
+            rng=rng,
+            epsilon_schedule=epsilon_schedule,
+            n_updates=n_updates,
+            logger=logger,
+            metric_prefix=metric_prefix,
+            eval_every=eval_every,
+            eval_episodes=eval_episodes,
+            config=config,
+        )
 
     losses: dict[str, float] = {}
     for episode in range(episodes):
@@ -114,42 +212,145 @@ def train_hero(
             losses = team.update()
 
         summary = info.get("episode", env.episode_summary())
-        attempts, successes = team.lane_change_stats()
-        logger.log_many(
-            {
-                f"{metric_prefix}/episode_reward": summary["episode_reward"],
-                f"{metric_prefix}/collision_rate": summary["collision"],
-                f"{metric_prefix}/merge_success_rate": summary["merge_success_rate"],
-                f"{metric_prefix}/mean_speed": summary["mean_speed"],
-                f"{metric_prefix}/epsilon": epsilon,
-                f"{metric_prefix}/lane_change_attempts": float(attempts),
-            },
-            episode,
+        attempts, _ = team.lane_change_stats()
+        _log_hero_episode(
+            logger, metric_prefix, env, summary, epsilon, attempts, losses, episode
         )
-        if losses:
-            # Log a stable subset: the first agent's core losses.
-            first = env.agents[0]
-            for name in ("critic_loss", "actor_loss"):
-                key = f"{first}/{name}"
-                if key in losses:
-                    logger.log(f"{metric_prefix}/{name}", losses[key], episode)
-            for key, value in losses.items():
-                if "_nll" in key:
-                    logger.log(f"{metric_prefix}/{key}", value, episode)
-
         if eval_every and (episode % eval_every == 0 or episode == episodes - 1):
-            eval_metrics = evaluate_hero(
-                env, team, episodes=eval_episodes, seed=config.seed + 500 + episode
+            _log_hero_eval(
+                logger, metric_prefix, env, team, eval_episodes, config, episode
             )
-            logger.log_many(
-                {
-                    f"{metric_prefix}/eval_episode_reward": eval_metrics["episode_reward"],
-                    f"{metric_prefix}/eval_collision_rate": eval_metrics["collision_rate"],
-                    f"{metric_prefix}/eval_merge_success_rate": eval_metrics["success_rate"],
-                    f"{metric_prefix}/eval_mean_speed": eval_metrics["mean_speed"],
-                },
-                episode,
+    return logger
+
+
+def _log_hero_episode(
+    logger: MetricLogger,
+    metric_prefix: str,
+    env: CooperativeLaneChangeEnv,
+    summary: dict[str, float],
+    epsilon: float,
+    lane_change_attempts: int,
+    losses: dict[str, float],
+    episode: int,
+) -> None:
+    """Per-episode training metrics (shared by the scalar/vectorized loops)."""
+    logger.log_many(
+        {
+            f"{metric_prefix}/episode_reward": summary["episode_reward"],
+            f"{metric_prefix}/collision_rate": summary["collision"],
+            f"{metric_prefix}/merge_success_rate": summary["merge_success_rate"],
+            f"{metric_prefix}/mean_speed": summary["mean_speed"],
+            f"{metric_prefix}/epsilon": epsilon,
+            f"{metric_prefix}/lane_change_attempts": float(lane_change_attempts),
+        },
+        episode,
+    )
+    if losses:
+        # Log a stable subset: the first agent's core losses.
+        first = env.agents[0]
+        for name in ("critic_loss", "actor_loss"):
+            key = f"{first}/{name}"
+            if key in losses:
+                logger.log(f"{metric_prefix}/{name}", losses[key], episode)
+        for key, value in losses.items():
+            if "_nll" in key:
+                logger.log(f"{metric_prefix}/{key}", value, episode)
+
+
+def _log_hero_eval(
+    logger: MetricLogger,
+    metric_prefix: str,
+    env: CooperativeLaneChangeEnv,
+    team: HeroTeam,
+    eval_episodes: int,
+    config: TrainingConfig,
+    episode: int,
+) -> None:
+    """Greedy-evaluation metrics (shared by the scalar/vectorized loops)."""
+    eval_metrics = evaluate_hero(
+        env, team, episodes=eval_episodes, seed=config.seed + 500 + episode
+    )
+    logger.log_many(
+        {
+            f"{metric_prefix}/eval_episode_reward": eval_metrics["episode_reward"],
+            f"{metric_prefix}/eval_collision_rate": eval_metrics["collision_rate"],
+            f"{metric_prefix}/eval_merge_success_rate": eval_metrics["success_rate"],
+            f"{metric_prefix}/eval_mean_speed": eval_metrics["mean_speed"],
+        },
+        episode,
+    )
+
+
+def _train_hero_vectorized(
+    env: CooperativeLaneChangeEnv,
+    team: HeroTeam,
+    episodes: int,
+    num_envs: int,
+    rng: np.random.Generator,
+    epsilon_schedule,
+    n_updates: int,
+    logger: MetricLogger,
+    metric_prefix: str,
+    eval_every: int | None,
+    eval_episodes: int,
+    config: TrainingConfig,
+) -> MetricLogger:
+    """Algorithm 1 with the rollout phase on a VectorEnv.
+
+    Episodes are logged in completion order; each finished episode triggers
+    the same gradient-update budget as the scalar loop, so the only change
+    is how experience is gathered.
+    """
+    if type(env) is not CooperativeLaneChangeEnv:
+        raise ValueError(
+            f"num_envs > 1 cannot replicate a {type(env).__name__}; vectorized "
+            "rollouts would silently train on different dynamics — use "
+            "num_envs=1 or build the VectorEnv/BatchedRolloutWorker directly"
+        )
+    # Replicate the caller's env faithfully: share the (stateless) track and
+    # scripted policy so custom traffic falls through to VectorEnv's scalar
+    # fallback instead of being swapped for the defaults.
+    vec_env = VectorEnv(
+        num_envs,
+        env_fns=[
+            lambda: CooperativeLaneChangeEnv(
+                scenario=env.scenario,
+                rewards=env.rewards,
+                track=env.track,
+                scripted_policy=env._scripted_policy,
             )
+        ]
+        * num_envs,
+    )
+    worker = BatchedRolloutWorker(vec_env, team)
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(num_envs)]
+    worker.reset(seeds)
+
+    completed = 0
+    losses: dict[str, float] = {}
+    while completed < episodes:
+        for stat in worker.collect(epsilon_schedule):
+            for _ in range(n_updates):
+                losses = team.update()
+            _log_hero_episode(
+                logger,
+                metric_prefix,
+                env,
+                stat["episode"],
+                stat["epsilon"],
+                stat["lane_change_attempts"],
+                losses,
+                completed,
+            )
+            if eval_every and (
+                completed % eval_every == 0 or completed == episodes - 1
+            ):
+                _log_hero_eval(
+                    logger, metric_prefix, env, team, eval_episodes, config, completed
+                )
+            completed += 1
+            if completed >= episodes:
+                break
     return logger
 
 

@@ -15,6 +15,7 @@ from .traffic import (
     SlowLeader,
     StationaryObstacle,
 )
+from .vector_env import VectorEnv
 from .vehicle import Vehicle, VehicleState
 from .wrappers import (
     DiscreteActionWrapper,
@@ -44,6 +45,7 @@ __all__ = [
     "StationaryObstacle",
     "StraightTrack",
     "Track",
+    "VectorEnv",
     "Vehicle",
     "VehicleState",
     "feature_dim",

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..utils.math_utils import segment_intersects_circle
 from .geometry import Track
 from .vehicle import Vehicle
 
@@ -36,39 +35,105 @@ class Lidar:
         """Return normalised distances (1.0 = nothing within range).
 
         Beam 0 points along the ego heading; beams proceed counter-clockwise.
+        Delegates to :meth:`scan_batch` (one ego) so the scalar env and the
+        vectorized env share one raycast kernel bit for bit.
         """
         track = ego.track
-        origin = np.array([ego.state.s, ego.state.d])
-        distances = np.full(self.n_beams, self.max_range)
+        obstacles = [other for other in others if other is not ego]
+        n = len(obstacles)
+        centers = np.zeros((1, n, 2))
+        radii = np.zeros((1, n))
+        for j, other in enumerate(obstacles):
+            centers[0, j, 0] = other.state.s
+            centers[0, j, 1] = other.state.d
+            radii[0, j] = other.radius
+        return self.scan_batch(
+            np.array([[ego.state.s, ego.state.d]]),
+            np.array([ego.state.heading]),
+            centers,
+            radii,
+            half_width=track.half_width,
+            track_length=track.length,
+        )[0]
 
-        # Pre-compute periodic copies of each obstacle disc.
-        centers: list[tuple[np.ndarray, float]] = []
-        for other in others:
-            if other is ego:
-                continue
-            base_s = other.state.s
-            for shift in (-track.length, 0.0, track.length):
-                centers.append(
-                    (np.array([base_s + shift, other.state.d]), other.radius)
-                )
+    def scan_batch(
+        self,
+        origins: np.ndarray,
+        headings: np.ndarray,
+        centers: np.ndarray,
+        radii: np.ndarray,
+        half_width: float,
+        track_length: float,
+        valid: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized raycast for a batch of egos against disc obstacles.
 
-        for i, rel_angle in enumerate(self._angles):
-            angle = ego.state.heading + rel_angle
-            direction = np.array([np.cos(angle), np.sin(angle)])
-            end = origin + direction * self.max_range
-            best = self.max_range
-            for center, radius in centers:
-                hit = segment_intersects_circle(origin, end, center, radius)
-                if hit is not None and hit < best:
-                    best = hit
-            # Road edges are walls at d = +/- half_width.
-            if abs(direction[1]) > 1e-9:
-                for wall in (-track.half_width, track.half_width):
-                    t = (wall - origin[1]) / direction[1]
-                    if 0.0 <= t < best:
-                        best = t
-            distances[i] = best
-        return distances / self.max_range
+        Parameters
+        ----------
+        origins : ``(B, 2)`` track-frame ``(s, d)`` ego positions.
+        headings : ``(B,)`` ego heading errors.
+        centers : ``(B, M, 2)`` obstacle disc centres (one row per ego; the
+            kernel adds the ``-L/0/+L`` periodic copies itself).
+        radii : ``(B, M)`` obstacle radii.
+        half_width : road half width (the walls at ``d = +/- half_width``).
+        track_length : period of the longitudinal coordinate.
+        valid : optional ``(B, M)`` mask; False entries are ignored (used by
+            the vectorized env to exclude each ego's own disc).
+
+        Returns ``(B, n_beams)`` distances normalised by ``max_range``.
+        """
+        origins = np.asarray(origins, dtype=np.float64)
+        headings = np.asarray(headings, dtype=np.float64)
+        centers = np.asarray(centers, dtype=np.float64)
+        radii = np.asarray(radii, dtype=np.float64)
+        n_batch, n_obstacles = centers.shape[0], centers.shape[1]
+
+        angles = headings[:, None] + self._angles[None, :]  # (B, K)
+        dir_s = np.cos(angles)
+        dir_d = np.sin(angles)
+
+        best = np.full((n_batch, self.n_beams), self.max_range)
+        if n_obstacles:
+            # Periodic copies of each disc at s - L, s, s + L.
+            shifts = np.array([-track_length, 0.0, track_length])
+            center_s = (centers[:, :, 0:1] + shifts).reshape(n_batch, -1)  # (B, 3M)
+            center_d = np.repeat(centers[:, :, 1], 3, axis=1)
+            all_radii = np.repeat(radii, 3, axis=1)
+            if valid is not None:
+                all_valid = np.repeat(np.asarray(valid, dtype=bool), 3, axis=1)
+            else:
+                all_valid = None
+
+            # Ray/circle intersection in closed form: with unit direction u
+            # and offset o = origin - center, hits are t = -b +/- sqrt(b²-c)
+            # for b = o·u, c = o·o - r².
+            off_s = origins[:, 0:1] - center_s  # (B, 3M)
+            off_d = origins[:, 1:2] - center_d
+            b = off_s[:, None, :] * dir_s[:, :, None] + off_d[:, None, :] * dir_d[
+                :, :, None
+            ]  # (B, K, 3M)
+            c = (off_s * off_s + off_d * off_d - all_radii * all_radii)[:, None, :]
+            disc = b * b - c
+            hit_possible = disc >= 0.0
+            sqrt_disc = np.sqrt(np.where(hit_possible, disc, 0.0))
+            t_near = -b - sqrt_disc
+            t_far = -b + sqrt_disc
+            near_ok = hit_possible & (t_near >= 0.0) & (t_near <= self.max_range)
+            far_ok = hit_possible & (t_far >= 0.0) & (t_far <= self.max_range)
+            if all_valid is not None:
+                near_ok &= all_valid[:, None, :]
+                far_ok &= all_valid[:, None, :]
+            t_hit = np.where(near_ok, t_near, np.where(far_ok, t_far, self.max_range))
+            best = np.minimum(best, t_hit.min(axis=2))
+
+        # Road edges are walls at d = +/- half_width.
+        steep = np.abs(dir_d) > 1e-9
+        safe_dir_d = np.where(steep, dir_d, 1.0)
+        for wall in (-half_width, half_width):
+            t_wall = (wall - origins[:, 1:2]) / safe_dir_d
+            hit = steep & (t_wall >= 0.0) & (t_wall < best)
+            best = np.where(hit, t_wall, best)
+        return best / self.max_range
 
 
 class PseudoCamera:

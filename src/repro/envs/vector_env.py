@@ -1,0 +1,548 @@
+"""Vectorized batched rollouts: step N lane-change games with stacked state.
+
+The paper trains over ~14,000 episodes; stepping one
+:class:`~repro.envs.lane_change_env.CooperativeLaneChangeEnv` at a time
+leaves the hot path dominated by per-agent Python loops (the profile is
+~65% lidar raycasts, the rest per-agent network calls).  :class:`VectorEnv`
+steps ``N`` environment instances synchronously with all vehicle state held
+in stacked NumPy arrays:
+
+* kinematics, collision tests, merge bookkeeping and team rewards are
+  evaluated for all ``N * num_vehicles`` vehicles in one shot,
+* observations (lidar + feature vectors) are produced by one call into the
+  shared :meth:`~repro.envs.sensors.Lidar.scan_batch` raycast kernel,
+* finished environments auto-reset: the returned row holds the first
+  observation of the next episode and ``infos[i]`` carries the finished
+  episode's summary plus its terminal observation.
+
+The vectorized step reproduces the scalar environment **bitwise**: every
+arithmetic expression mirrors the scalar code path elementwise, and the
+lidar goes through the very same kernel (``tests/test_vector_env.py`` locks
+this in).  Environments whose configuration the fast path cannot express
+(image observations, custom scripted policies, subclassed envs) fall back
+to stepping the wrapped scalar environments one by one, so behaviour is
+always correct even when it is not fast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..config import RewardConfig, ScenarioConfig
+from ..utils.math_utils import wrap_angle
+from .lane_change_env import CooperativeLaneChangeEnv
+from .traffic import SlowLeader
+from .vehicle import MAX_HEADING_ERROR
+
+ObsBatch = dict[str, np.ndarray]
+
+
+class VectorEnv:
+    """Synchronous batch of ``N`` cooperative lane-change environments."""
+
+    def __init__(
+        self,
+        num_envs: int,
+        scenario: ScenarioConfig | None = None,
+        rewards: RewardConfig | None = None,
+        env_fns: Sequence[Callable[[], CooperativeLaneChangeEnv]] | None = None,
+        auto_reset: bool = True,
+    ):
+        if env_fns is not None:
+            if len(env_fns) != num_envs:
+                raise ValueError(
+                    f"expected {num_envs} env_fns, got {len(env_fns)}"
+                )
+            self._envs = [fn() for fn in env_fns]
+        else:
+            self._envs = [
+                CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
+                for _ in range(num_envs)
+            ]
+        if num_envs < 1:
+            raise ValueError(f"num_envs must be >= 1, got {num_envs}")
+        self.num_envs = num_envs
+        self.auto_reset = auto_reset
+
+        template = self._envs[0]
+        self.scenario = template.scenario
+        self.rewards = template.rewards
+        self.agents = list(template.agents)
+        self.num_agents = len(self.agents)
+        self.observation_spaces = template.observation_spaces
+        self.action_spaces = template.action_spaces
+        self.high_level_obs_dim = template.high_level_obs_dim
+        self.low_level_obs_dim = template.low_level_obs_dim
+
+        self._fast = self._fast_path_eligible()
+        self._allocate_state()
+        # Materialise vehicles once so static attributes (radii, speed caps)
+        # can be read; any later reset(seed=...) reseeds the per-env RNGs, so
+        # this throwaway reset does not perturb seeded rollouts.  Distinct
+        # per-env seeds matter for the unseeded path: reset(seeds=None)
+        # continues these streams, and N identical streams would hand every
+        # env the same initial-condition sequence forever.
+        for i, env in enumerate(self._envs):
+            env.reset(seed=i)
+            self._read_static(i)
+            self._sync_from_env(i)
+
+        # Post-step (pre-autoreset) learning-vehicle state, exposed for the
+        # batched option-termination logic in repro.core.batched.
+        self.lane_ids = np.zeros((self.num_envs, self.num_agents), dtype=np.int64)
+        self.lane_deviation = np.zeros((self.num_envs, self.num_agents))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _fast_path_eligible(self) -> bool:
+        template = self._envs[0]
+        for env in self._envs:
+            if type(env) is not CooperativeLaneChangeEnv:
+                return False
+            if env.scenario != template.scenario or env.rewards != template.rewards:
+                return False
+            if env.scenario.observation_mode != "features":
+                return False
+            if type(env._scripted_policy) is not SlowLeader:
+                return False
+            if env._scripted_policy.speed != template._scripted_policy.speed:
+                return False
+            track, ref = env.track, template.track
+            if (
+                track.length != ref.length
+                or track.num_lanes != ref.num_lanes
+                or track.lane_width != ref.lane_width
+            ):
+                return False
+        return True
+
+    @property
+    def fast_path(self) -> bool:
+        """Whether steps run on the stacked-array path (vs scalar fallback)."""
+        return self._fast
+
+    @property
+    def envs(self) -> list[CooperativeLaneChangeEnv]:
+        """The wrapped scalar environments.
+
+        On the fast path their vehicle objects are only synchronised at
+        reset time; call :meth:`sync_to_envs` before inspecting them.
+        """
+        return self._envs
+
+    def _allocate_state(self) -> None:
+        cfg = self.scenario
+        n, a = self.num_envs, self.num_agents
+        v = cfg.num_learning_vehicles + cfg.num_scripted_vehicles
+        self._num_vehicles = v
+        self._s = np.zeros((n, v))
+        self._d = np.zeros((n, v))
+        self._heading = np.zeros((n, v))
+        self._lin = np.zeros((n, v))
+        self._ang = np.zeros((n, v))
+        self._distance = np.zeros((n, v))
+        self._crashed = np.zeros((n, v), dtype=bool)
+        self._radius = np.zeros(v)
+        self._max_lin = np.zeros(v)
+        self._max_ang = np.zeros(v)
+        self._blocked = np.zeros((n, a), dtype=bool)
+        self._merged = np.zeros((n, a), dtype=bool)
+        self._t = np.zeros(n, dtype=np.int64)
+        self._episode_reward = np.zeros(n)
+        self._speed_sum = np.zeros(n)
+        self._speed_count = np.zeros(n, dtype=np.int64)
+        self._collision_happened = np.zeros(n, dtype=bool)
+
+    def _vehicles_of(self, i: int) -> list:
+        env = self._envs[i]
+        return [env._vehicles[agent] for agent in env.agents] + list(env._scripted)
+
+    def _read_static(self, i: int) -> None:
+        for j, vehicle in enumerate(self._vehicles_of(i)):
+            self._radius[j] = vehicle.radius
+            self._max_lin[j] = vehicle.max_linear_speed
+            self._max_ang[j] = vehicle.max_angular_speed
+
+    def _sync_from_env(self, i: int) -> None:
+        """Pull one scalar env's state into the stacked arrays."""
+        env = self._envs[i]
+        for j, vehicle in enumerate(self._vehicles_of(i)):
+            state = vehicle.state
+            self._s[i, j] = state.s
+            self._d[i, j] = state.d
+            self._heading[i, j] = state.heading
+            self._lin[i, j] = state.linear_speed
+            self._ang[i, j] = state.angular_speed
+            self._distance[i, j] = vehicle.distance_travelled
+            self._crashed[i, j] = vehicle.crashed
+        for k, agent in enumerate(env.agents):
+            self._blocked[i, k] = agent in env._blocked_agents
+            self._merged[i, k] = agent in env._merged_agents
+        self._t[i] = env._t
+        self._episode_reward[i] = env._episode_reward
+        self._speed_sum[i] = env._speed_sum
+        self._speed_count[i] = env._speed_count
+        self._collision_happened[i] = env._collision_happened
+
+    def sync_to_envs(self) -> None:
+        """Write the stacked state back into the scalar envs' vehicles.
+
+        The fast path leaves the wrapped environments' Python objects stale;
+        call this before rendering or inspecting individual vehicles.
+        """
+        for i, env in enumerate(self._envs):
+            for j, vehicle in enumerate(self._vehicles_of(i)):
+                state = vehicle.state
+                state.s = float(self._s[i, j])
+                state.d = float(self._d[i, j])
+                state.heading = float(self._heading[i, j])
+                state.linear_speed = float(self._lin[i, j])
+                state.angular_speed = float(self._ang[i, j])
+                vehicle.distance_travelled = float(self._distance[i, j])
+                vehicle.crashed = bool(self._crashed[i, j])
+            env._merged_agents = {
+                agent for k, agent in enumerate(env.agents) if self._merged[i, k]
+            }
+            env._t = int(self._t[i])
+            env._episode_reward = float(self._episode_reward[i])
+            env._speed_sum = float(self._speed_sum[i])
+            env._speed_count = int(self._speed_count[i])
+            env._collision_happened = bool(self._collision_happened[i])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self, seeds: int | Sequence[int | None] | None = None) -> ObsBatch:
+        """Reset every environment; returns stacked observations.
+
+        ``seeds`` may be None (each env continues its own RNG stream), one
+        int (env ``i`` gets ``seeds + i``), or one seed per env.
+        """
+        if seeds is None:
+            seed_list: list[int | None] = [None] * self.num_envs
+        elif isinstance(seeds, (int, np.integer)):
+            seed_list = [int(seeds) + i for i in range(self.num_envs)]
+        else:
+            if len(seeds) != self.num_envs:
+                raise ValueError(
+                    f"expected {self.num_envs} seeds, got {len(seeds)}"
+                )
+            seed_list = [None if s is None else int(s) for s in seeds]
+        per_env = []
+        for i, (env, seed) in enumerate(zip(self._envs, seed_list)):
+            per_env.append(env.reset(seed=seed))
+            self._sync_from_env(i)
+        return self._stack_obs(per_env)
+
+    def _stack_obs(self, per_env: list[dict[str, dict[str, np.ndarray]]]) -> ObsBatch:
+        keys = per_env[0][self.agents[0]].keys()
+        return {
+            key: np.stack(
+                [
+                    np.stack([obs[agent][key] for agent in self.agents])
+                    for obs in per_env
+                ]
+            )
+            for key in keys
+        }
+
+    def _reset_env(self, i: int) -> dict[str, dict[str, np.ndarray]]:
+        obs = self._envs[i].reset()
+        self._sync_from_env(i)
+        return obs
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(
+        self, actions: np.ndarray
+    ) -> tuple[ObsBatch, np.ndarray, np.ndarray, list[dict[str, Any]]]:
+        """Advance every environment one step.
+
+        ``actions`` has shape ``(num_envs, num_agents, 2)``.  Returns
+        ``(obs, rewards, dones, infos)`` where observations are stacked
+        arrays, ``rewards``/``dones`` are ``(num_envs,)`` (the team reward is
+        shared), and finished environments auto-reset with their summary in
+        ``infos[i]["episode"]`` and the pre-reset observation in
+        ``infos[i]["terminal_observation"]``.
+        """
+        actions = np.asarray(actions, dtype=np.float64)
+        expected = (self.num_envs, self.num_agents, 2)
+        if actions.shape != expected:
+            raise ValueError(f"actions must have shape {expected}, got {actions.shape}")
+        if not self._fast:
+            return self._step_fallback(actions)
+        return self._step_fast(actions)
+
+    def _step_fast(self, actions: np.ndarray):
+        cfg = self.scenario
+        rew = self.rewards
+        n, a, v = self.num_envs, self.num_agents, self._num_vehicles
+        track = self._envs[0].track
+        half_width = track.half_width
+        self._t += 1
+
+        travel_before = self._distance[:, :a].copy()
+
+        # --- Commands: learning agents from `actions`, scripted vehicles
+        # from the (vectorized) SlowLeader lane-centering controller.
+        lin_cmd = np.empty((n, v))
+        ang_cmd = np.empty((n, v))
+        lin_cmd[:, :a] = actions[:, :, 0]
+        ang_cmd[:, :a] = actions[:, :, 1]
+        if v > a:
+            policy: SlowLeader = self._envs[0]._scripted_policy
+            lanes_scripted = self._lane_of(self._d[:, a:])
+            target_d = self._lane_center(lanes_scripted)
+            lateral_error = target_d - self._d[:, a:]
+            command = (
+                policy.steer_gain * lateral_error
+                - 1.5 * policy.steer_gain * self._heading[:, a:]
+            )
+            lin_cmd[:, a:] = policy.speed
+            ang_cmd[:, a:] = np.clip(command, -0.3, 0.3)
+
+        # --- Kinematics (mirrors Vehicle.apply_action elementwise; crashed
+        # vehicles are frozen exactly as the scalar early-return does).
+        alive = ~self._crashed
+        lin = np.clip(lin_cmd, 0.0, self._max_lin)
+        ang = np.clip(ang_cmd, -self._max_ang, self._max_ang)
+        heading = np.clip(
+            wrap_angle(self._heading + ang * cfg.dt),
+            -MAX_HEADING_ERROR,
+            MAX_HEADING_ERROR,
+        )
+        ds = lin * np.cos(heading) * cfg.dt
+        s = self._wrap(self._s + ds)
+        d = self._d + lin * np.sin(heading) * cfg.dt
+        self._lin = np.where(alive, lin, self._lin)
+        self._ang = np.where(alive, ang, self._ang)
+        self._heading = np.where(alive, heading, self._heading)
+        self._s = np.where(alive, s, self._s)
+        self._d = np.where(alive, d, self._d)
+        self._distance += np.where(alive, np.maximum(ds, 0.0), 0.0)
+
+        # --- Collisions: pairwise disc tests across all vehicles per env.
+        gap_s = self._signed_gap(self._s[:, :, None], self._s[:, None, :])
+        gap_d = self._d[:, None, :] - self._d[:, :, None]
+        dist = np.hypot(gap_s, gap_d)
+        radius_sum = self._radius[:, None] + self._radius[None, :]
+        colliding = dist < radius_sum
+        colliding[:, np.arange(v), np.arange(v)] = False
+        crashed_now = colliding.any(axis=2)
+        involved = crashed_now[:, :a]
+        self._crashed[:, :a] |= involved
+
+        off_road = ~(np.abs(self._d[:, :a]) <= half_width)
+        failure = involved | off_road
+        failure_any = failure.any(axis=1)
+        self._collision_happened |= failure_any
+
+        # --- Merge bookkeeping (blocked vehicle settled in the other lane).
+        lane = self._lane_of(self._d[:, :a])
+        deviation = np.abs(self._d[:, :a] - self._lane_center(lane))
+        self._merged |= (
+            self._blocked
+            & ~self._merged
+            & (lane != 0)
+            & (deviation < 0.25 * cfg.lane_width)
+            & ~failure
+        )
+
+        # --- Team reward r_h = alpha * r_col + (1 - alpha) * r_travel.
+        travel = np.mean(self._distance[:, :a] - travel_before, axis=1)
+        r_travel = travel * rew.travel_reward_scale
+        r_col = np.where(failure_any, rew.collision_penalty, 0.0)
+        rewards = rew.alpha * r_col + (1.0 - rew.alpha) * r_travel
+        self._episode_reward += rewards
+
+        self._speed_sum += np.mean(self._lin[:, :a], axis=1)
+        self._speed_count += 1
+
+        dones = failure_any | (self._t >= cfg.episode_length)
+        self.lane_ids = lane
+        self.lane_deviation = deviation
+
+        observations = self._observe_batch()
+        infos: list[dict[str, Any]] = [{"t": int(self._t[i])} for i in range(n)]
+        for i in np.flatnonzero(dones):
+            infos[i]["episode"] = self._episode_summary(i)
+            infos[i]["terminal_observation"] = {
+                key: value[i].copy() for key, value in observations.items()
+            }
+        if self.auto_reset and dones.any():
+            for i in np.flatnonzero(dones):
+                reset_obs = self._reset_env(i)
+                for key in observations:
+                    observations[key][i] = np.stack(
+                        [reset_obs[agent][key] for agent in self.agents]
+                    )
+        return observations, rewards, dones, infos
+
+    def _step_fallback(self, actions: np.ndarray):
+        """Generic path: step each wrapped env through its own scalar step."""
+        n = self.num_envs
+        per_env_obs = []
+        rewards = np.zeros(n)
+        dones = np.zeros(n, dtype=bool)
+        infos: list[dict[str, Any]] = []
+        for i, env in enumerate(self._envs):
+            action_dict = {agent: actions[i, k] for k, agent in enumerate(env.agents)}
+            obs, rew, done_dict, info = env.step(action_dict)
+            rewards[i] = rew[env.agents[0]]
+            dones[i] = done_dict["__all__"]
+            step_info: dict[str, Any] = {"t": info["t"]}
+            for k, agent in enumerate(env.agents):
+                vehicle = env.vehicle(agent)
+                self.lane_ids[i, k] = vehicle.lane_id
+                self.lane_deviation[i, k] = vehicle.lane_deviation
+            if dones[i]:
+                step_info["episode"] = info.get("episode", env.episode_summary())
+                step_info["terminal_observation"] = {
+                    key: np.stack([obs[agent][key] for agent in env.agents])
+                    for key in obs[env.agents[0]]
+                }
+                if self.auto_reset:
+                    obs = env.reset()
+            self._sync_from_env(i)
+            per_env_obs.append(obs)
+            infos.append(step_info)
+        return self._stack_obs(per_env_obs), rewards, dones, infos
+
+    # ------------------------------------------------------------------
+    # Vectorized geometry (each expression mirrors the scalar code path)
+    # ------------------------------------------------------------------
+    def _wrap(self, s: np.ndarray) -> np.ndarray:
+        length = self._envs[0].track.length
+        wrapped = np.mod(s, length)
+        return np.where(wrapped >= length, 0.0, wrapped)
+
+    def _signed_gap(self, s_from: np.ndarray, s_to: np.ndarray) -> np.ndarray:
+        length = self._envs[0].track.length
+        gap = self._wrap(s_to - s_from)
+        return np.where(gap > length / 2.0, gap - length, gap)
+
+    def _lane_of(self, d: np.ndarray) -> np.ndarray:
+        track = self._envs[0].track
+        half_span = track.num_lanes * track.lane_width / 2.0
+        index = np.floor((d + half_span) / track.lane_width).astype(np.int64)
+        return np.clip(index, 0, track.num_lanes - 1)
+
+    def _lane_center(self, lane: np.ndarray) -> np.ndarray:
+        track = self._envs[0].track
+        half_span = track.num_lanes * track.lane_width / 2.0
+        centers = -half_span + (np.arange(track.num_lanes) + 0.5) * track.lane_width
+        return centers[lane]
+
+    # ------------------------------------------------------------------
+    # Batched observations
+    # ------------------------------------------------------------------
+    def _observe_batch(self) -> ObsBatch:
+        cfg = self.scenario
+        n, a, v = self.num_envs, self.num_agents, self._num_vehicles
+        track = self._envs[0].track
+
+        lane = self._lane_of(self._d[:, :a])
+        lane_onehot = np.eye(cfg.num_lanes)[lane]
+        speed = self._lin[:, :a, None].copy()
+
+        # Lidar: one raycast kernel call for all (env, agent) egos; each
+        # ego's own disc is masked out (the scalar scan skips `other is ego`).
+        origins = np.stack([self._s[:, :a], self._d[:, :a]], axis=-1).reshape(-1, 2)
+        headings = self._heading[:, :a].reshape(-1)
+        centers = np.stack([self._s, self._d], axis=-1)  # (n, v, 2)
+        centers = np.broadcast_to(centers[:, None], (n, a, v, 2)).reshape(-1, v, 2)
+        radii = np.broadcast_to(self._radius, (n * a, v))
+        not_self = ~np.eye(a, v, dtype=bool)
+        valid = np.broadcast_to(not_self, (n, a, v)).reshape(-1, v)
+        lidar = self._envs[0].lidar.scan_batch(
+            origins,
+            headings,
+            centers,
+            radii,
+            half_width=track.half_width,
+            track_length=track.length,
+            valid=valid,
+        ).reshape(n, a, -1)
+
+        features = self._feature_batch(lane, lane_onehot)
+        return {
+            "lidar": lidar,
+            "speed": speed,
+            "lane_onehot": lane_onehot,
+            "features": features,
+        }
+
+    def _feature_batch(self, lane: np.ndarray, lane_onehot: np.ndarray) -> np.ndarray:
+        """Vectorized :func:`repro.envs.sensors.feature_vector`."""
+        cfg = self.scenario
+        n, a, v = self.num_envs, self.num_agents, self._num_vehicles
+        track = self._envs[0].track
+        horizon = 3.0
+
+        deviation = self._d[:, :a] - self._lane_center(lane)
+        lane_all = self._lane_of(self._d)  # (n, v)
+
+        # Signed periodic gap from each ego to every vehicle, self masked.
+        gap = self._signed_gap(self._s[:, :a, None], self._s[:, None, :])  # (n, a, v)
+        not_self = ~np.eye(a, v, dtype=bool)[None]  # (1, a, v)
+        same_lane = lane_all[:, None, :] == lane[:, :, None]
+        if track.num_lanes == 2:
+            other_lane_id = 1 - lane
+        else:
+            other_lane_id = lane
+        in_other_lane = lane_all[:, None, :] == other_lane_id[:, :, None]
+
+        def nearest(mask: np.ndarray, gaps: np.ndarray) -> np.ndarray:
+            candidates = np.where(
+                mask & (gaps > 0.0) & (gaps < horizon), gaps, horizon
+            )
+            return candidates.min(axis=2) / horizon
+
+        fwd_same = nearest(not_self & same_lane, gap)
+        fwd_other = nearest(not_self & in_other_lane, gap)
+        rear_other = nearest(not_self & in_other_lane, -gap)
+
+        features = np.empty((n, a, 3 + cfg.num_lanes + 3))
+        features[:, :, 0] = deviation / track.lane_width
+        features[:, :, 1] = self._heading[:, :a]
+        features[:, :, 2] = self._lin[:, :a]
+        features[:, :, 3 : 3 + cfg.num_lanes] = lane_onehot
+        features[:, :, 3 + cfg.num_lanes] = fwd_same
+        features[:, :, 4 + cfg.num_lanes] = fwd_other
+        features[:, :, 5 + cfg.num_lanes] = rear_other
+        return features
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _episode_summary(self, i: int) -> dict[str, float]:
+        blocked = max(int(self._blocked[i].sum()), 1)
+        count = int(self._speed_count[i])
+        return {
+            "episode_reward": float(self._episode_reward[i]),
+            "collision": float(self._collision_happened[i]),
+            "merge_success_rate": int(self._merged[i].sum()) / blocked,
+            "mean_speed": float(self._speed_sum[i]) / count if count else 0.0,
+            "length": float(self._t[i]),
+        }
+
+    # ------------------------------------------------------------------
+    # Flattening helpers (stacked counterparts of the scalar staticmethods)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def flatten_high(obs: ObsBatch) -> np.ndarray:
+        """Stacked s_h = [lidar, speed, laneID]; shape (num_envs, agents, Dh)."""
+        return np.concatenate([obs["lidar"], obs["speed"], obs["lane_onehot"]], axis=-1)
+
+    @staticmethod
+    def flatten_low(obs: ObsBatch) -> np.ndarray:
+        """Stacked s_l = [features, speed, laneID]; shape (num_envs, agents, Dl)."""
+        if "features" not in obs:
+            raise KeyError("low-level flat obs requires observation_mode='features'")
+        return np.concatenate(
+            [obs["features"], obs["speed"], obs["lane_onehot"]], axis=-1
+        )

@@ -78,9 +78,10 @@ def train_hero_method(
     batch_size: int = 128,
     updates_per_episode: int = 4,
     metric_prefix: str = "hero",
+    num_envs: int = 1,
 ) -> TrainedMethod:
     """Two-stage HERO training (Algorithm 2 then Algorithm 1)."""
-    config = TrainingConfig(seed=seed)
+    config = TrainingConfig(seed=seed, num_envs=num_envs)
     config.scenario = scenario
     config.rewards = rewards
     config.epsilon_start = 0.4
@@ -106,6 +107,7 @@ def train_hero_method(
         config=config,
         updates_per_episode=updates_per_episode,
         metric_prefix=metric_prefix,
+        num_envs=num_envs,
     )
     # Keep the skill curves available to Fig. 8.
     for name in skill_logger.names():
@@ -150,12 +152,15 @@ def train_all_methods(
     methods: list[str] | None = None,
     scenario: ScenarioConfig | None = None,
     skill_scale: float | None = None,
+    num_envs: int = 1,
 ) -> ExperimentResult:
     """Train HERO and the baselines on the shared scenario.
 
     ``scale=1.0`` reproduces the paper's full 14,000-episode budget;
     benchmark defaults use a small fraction so the suite finishes in
-    minutes (documented in EXPERIMENTS.md).
+    minutes (documented in EXPERIMENTS.md).  ``num_envs > 1`` collects
+    HERO's rollouts from that many vectorized env copies (the baselines'
+    training loops are still scalar).
     """
     methods = methods or METHOD_NAMES
     scenario = scenario or bench_scenario()
@@ -173,7 +178,7 @@ def train_all_methods(
     for name in methods:
         if name == "hero":
             trained = train_hero_method(
-                scenario, rewards, episodes, skill_episodes, seed
+                scenario, rewards, episodes, skill_episodes, seed, num_envs=num_envs
             )
         else:
             trained = train_baseline_method(name, scenario, rewards, episodes, seed)

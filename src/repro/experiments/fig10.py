@@ -20,9 +20,14 @@ OBSERVER = "vehicle_1"  # "vehicle 2" in the paper's 1-based numbering
 
 
 def run_fig10(
-    scale: float = 0.02, seed: int = 0, result: ExperimentResult | None = None
+    scale: float = 0.02,
+    seed: int = 0,
+    result: ExperimentResult | None = None,
+    num_envs: int = 1,
 ) -> dict:
-    result = result or train_all_methods(scale=scale, seed=seed, methods=["hero"])
+    result = result or train_all_methods(
+        scale=scale, seed=seed, methods=["hero"], num_envs=num_envs
+    )
     logger = result.methods["hero"].logger
     curves = {}
     for name in logger.names():

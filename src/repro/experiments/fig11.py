@@ -9,9 +9,7 @@ Shape targets (paper: HERO highest at ~0.08, MAAC lowest at ~0.048):
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..envs import CooperativeLaneChangeEnv, make_baseline_env
+from ..envs import make_baseline_env
 from .common import ExperimentResult, train_all_methods
 from .reporting import print_metric_table, shape_check
 
@@ -21,8 +19,9 @@ def run_fig11(
     seed: int = 0,
     eval_episodes: int = 10,
     result: ExperimentResult | None = None,
+    num_envs: int = 1,
 ) -> dict:
-    result = result or train_all_methods(scale=scale, seed=seed)
+    result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
     speeds = {}
     collisions = {}
     for name, trained in result.methods.items():

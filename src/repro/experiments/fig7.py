@@ -24,7 +24,10 @@ PANELS = {
 
 
 def run_fig7(
-    scale: float = 0.02, seed: int = 0, result: ExperimentResult | None = None
+    scale: float = 0.02,
+    seed: int = 0,
+    result: ExperimentResult | None = None,
+    num_envs: int = 1,
 ) -> dict:
     """Train all methods and collect the three Fig. 7 panels.
 
@@ -32,7 +35,7 @@ def run_fig7(
     matching how learning curves are reported; the raw training-rollout
     series remain available in each method's logger.
     """
-    result = result or train_all_methods(scale=scale, seed=seed)
+    result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
     panels: dict[str, dict[str, np.ndarray]] = {}
     for panel, (metric, _) in PANELS.items():
         panels[panel] = {

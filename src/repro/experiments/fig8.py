@@ -16,7 +16,9 @@ from .common import bench_scenario, episodes_from_scale
 from .reporting import curve_summary, print_learning_curves, shape_check
 
 
-def run_fig8(scale: float = 0.02, seed: int = 0) -> dict:
+def run_fig8(scale: float = 0.02, seed: int = 0, num_envs: int = 1) -> dict:
+    """``num_envs`` is accepted for CLI uniformity; skill training is
+    single-agent and stays scalar."""
     config = TrainingConfig(seed=seed)
     config.scenario = bench_scenario()
     episodes = episodes_from_scale(scale)

@@ -63,11 +63,17 @@ EXPERIMENTS: dict[str, Experiment] = {
 }
 
 
-def run_experiment(exp_id: str, scale: float = 0.02, seed: int = 0) -> dict:
-    """Run one experiment end to end and print its report."""
+def run_experiment(
+    exp_id: str, scale: float = 0.02, seed: int = 0, num_envs: int = 1
+) -> dict:
+    """Run one experiment end to end and print its report.
+
+    ``num_envs > 1`` collects HERO's training rollouts from that many
+    vectorized environment copies (see ``repro.envs.vector_env``).
+    """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
     experiment = EXPERIMENTS[exp_id]
-    outputs = experiment.run(scale=scale, seed=seed)
+    outputs = experiment.run(scale=scale, seed=seed, num_envs=num_envs)
     experiment.report(outputs)
     return outputs

@@ -18,8 +18,6 @@ Shape targets under our domain-shift testbed (DESIGN.md §2):
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..config import TestbedConfig
 from ..envs import (
     CooperativeLaneChangeEnv,
@@ -78,8 +76,9 @@ def run_table2(
     seed: int = 0,
     eval_episodes: int = 20,
     result: ExperimentResult | None = None,
+    num_envs: int = 1,
 ) -> dict:
-    result = result or train_all_methods(scale=scale, seed=seed)
+    result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
     rows = {}
     for name, trained in result.methods.items():
         env = _testbed_env_for(name, result, trained, seed + 7)

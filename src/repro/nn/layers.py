@@ -146,6 +146,34 @@ class Sequential(Module):
             x = module(x)
         return x
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Gradient-free forward on raw arrays.
+
+        Produces values bit-identical to ``forward(...).data`` for the
+        layer types used in inference-heavy paths (Linear + elementwise
+        activations) without building the autograd graph — the hot path of
+        batched rollouts and of the no-gradient target computations inside
+        updates.  Falls back to the Tensor path for any other child module.
+        """
+        for module in self.children:
+            if isinstance(module, Linear):
+                x = x @ module.weight.data
+                if module.bias is not None:
+                    x = x + module.bias.data
+            elif isinstance(module, ReLU):
+                x = np.where(x > 0, x, 0.0)
+            elif isinstance(module, Tanh):
+                x = np.tanh(x)
+            elif isinstance(module, Sigmoid):
+                x = 1.0 / (1.0 + np.exp(-x))
+            elif isinstance(module, LeakyReLU):
+                x = np.where(x > 0, x, module.negative_slope * x)
+            elif isinstance(module, Identity):
+                pass
+            else:
+                x = module(Tensor(x)).data
+        return x
+
     def append(self, module: Module) -> None:
         self.children.append(module)
 

@@ -57,6 +57,10 @@ class MLP(Module):
             x = Tensor(x)
         return self.net(x)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Gradient-free forward (see :meth:`Sequential.infer`)."""
+        return self.net.infer(np.asarray(x, dtype=np.float64))
+
 
 class CNNEncoder(Module):
     """Small convolutional encoder for the pseudo-camera occupancy grid.
@@ -131,6 +135,18 @@ class CategoricalPolicy(Module):
     def greedy(self, obs: np.ndarray) -> np.ndarray:
         return self.forward(obs).data.argmax(axis=-1)
 
+    def logits_inference(self, obs: np.ndarray) -> np.ndarray:
+        """Gradient-free logits (batched rollout inference)."""
+        return self.trunk.infer(obs)
+
+    def probs_inference(self, obs: np.ndarray) -> np.ndarray:
+        """Gradient-free probabilities, numerically identical to
+        ``probs(obs).data`` (same stable-softmax arithmetic)."""
+        logits = self.trunk.infer(obs)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
 
 class SquashedGaussianPolicy(Module):
     """Tanh-squashed Gaussian actor for soft actor-critic.
@@ -202,6 +218,23 @@ class SquashedGaussianPolicy(Module):
         """Mean action (evaluation mode), already rescaled."""
         mean, _ = self.forward(obs)
         return np.tanh(mean.data) * self._action_scale + self._action_offset
+
+    def act_batch(
+        self, obs: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Gradient-free batched actions for rollouts.
+
+        With ``rng`` this draws the same reparameterised tanh-Gaussian
+        sample as :meth:`sample` but skips the log-probability graph (the
+        rollout path never uses it); without ``rng`` it is the mean action.
+        """
+        out = self.trunk.infer(obs)
+        mean = out[:, : self.action_dim]
+        if rng is None:
+            return np.tanh(mean) * self._action_scale + self._action_offset
+        log_std = np.clip(out[:, self.action_dim :], LOG_STD_MIN, LOG_STD_MAX)
+        pre_tanh = mean + np.exp(log_std) * rng.standard_normal(mean.shape)
+        return np.tanh(pre_tanh) * self._action_scale + self._action_offset
 
 
 def _tanh_log_det(pre_tanh: Tensor) -> Tensor:

@@ -20,17 +20,30 @@ import numpy as np
 
 
 class ReplayBuffer:
-    """Uniform ring buffer over (obs, action, reward, next_obs, done)."""
+    """Uniform ring buffer over (obs, action, reward, next_obs, done).
 
-    def __init__(self, capacity: int, obs_dim: int, action_dim: int):
+    Storage is ``float32`` by default: transitions arrive as float64 but a
+    100k-capacity buffer of float64 observations is pure waste — float32
+    halves the footprint and the learners re-promote on use anyway (the
+    network weights stay float64).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        action_dim: int,
+        dtype: np.dtype = np.float32,
+    ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self.obs = np.zeros((capacity, obs_dim))
-        self.actions = np.zeros((capacity, action_dim))
-        self.rewards = np.zeros(capacity)
-        self.next_obs = np.zeros((capacity, obs_dim))
-        self.dones = np.zeros(capacity)
+        self.dtype = np.dtype(dtype)
+        self.obs = np.zeros((capacity, obs_dim), dtype=self.dtype)
+        self.actions = np.zeros((capacity, action_dim), dtype=self.dtype)
+        self.rewards = np.zeros(capacity, dtype=self.dtype)
+        self.next_obs = np.zeros((capacity, obs_dim), dtype=self.dtype)
+        self.dones = np.zeros(capacity, dtype=self.dtype)
         self._index = 0
         self._size = 0
 
@@ -74,8 +87,9 @@ class PrioritizedReplayBuffer(ReplayBuffer):
         action_dim: int,
         alpha: float = 0.6,
         beta: float = 0.4,
+        dtype: np.dtype = np.float32,
     ):
-        super().__init__(capacity, obs_dim, action_dim)
+        super().__init__(capacity, obs_dim, action_dim, dtype=dtype)
         self.alpha = alpha
         self.beta = beta
         self._priorities = np.zeros(capacity)

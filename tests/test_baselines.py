@@ -5,10 +5,6 @@ import pytest
 
 from repro.baselines import (
     BASELINES,
-    COMA,
-    IndependentDQN,
-    MAAC,
-    MADDPG,
     evaluate_marl,
     make_baseline,
     train_marl,

@@ -1,0 +1,288 @@
+"""Tests for batched policy inference and the vectorized training path.
+
+Covers the no-grad inference kernels (``MLP.infer`` & friends must be
+bit-identical to the autograd forward), the
+:class:`~repro.core.batched.BatchedHeroRunner` option machinery, the
+:class:`~repro.core.trainer.BatchedRolloutWorker`, and
+``train_hero(..., num_envs=N)`` end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig, TrainingConfig
+from repro.core import (
+    BatchedHeroRunner,
+    BatchedRolloutWorker,
+    HeroTeam,
+    KEEP_LANE,
+    train_hero,
+)
+from repro.core.opponent_model import WindowedOpponentModel
+from repro.envs import CooperativeLaneChangeEnv, VectorEnv
+from repro.nn import MLP, CategoricalPolicy, SquashedGaussianPolicy
+
+
+def small_scenario(**overrides) -> ScenarioConfig:
+    return ScenarioConfig(episode_length=8, **overrides)
+
+
+def make_setup(num_envs=3, seed=0, **scenario_overrides):
+    scenario = small_scenario(**scenario_overrides)
+    vec = VectorEnv(num_envs, scenario=scenario)
+    team = HeroTeam(
+        CooperativeLaneChangeEnv(scenario=scenario),
+        np.random.default_rng(seed),
+        batch_size=8,
+    )
+    runner = BatchedHeroRunner(team, vec)
+    return vec, team, runner
+
+
+class TestInferenceKernels:
+    """The no-grad forward paths must match the autograd ones bitwise."""
+
+    def test_mlp_infer_matches_forward(self):
+        rng = np.random.default_rng(0)
+        net = MLP(9, (32, 32), 5, rng)
+        x = rng.standard_normal((21, 9))
+        np.testing.assert_array_equal(net.infer(x), net.forward(x).data)
+
+    def test_categorical_inference_matches(self):
+        rng = np.random.default_rng(1)
+        policy = CategoricalPolicy(7, 4, rng)
+        x = rng.standard_normal((13, 7))
+        np.testing.assert_array_equal(
+            policy.logits_inference(x), policy.forward(x).data
+        )
+        np.testing.assert_array_equal(
+            policy.probs_inference(x), policy.probs(x).data
+        )
+
+    def test_squashed_gaussian_act_batch_matches(self):
+        rng = np.random.default_rng(2)
+        policy = SquashedGaussianPolicy(
+            6, 2, rng, action_low=np.array([0.0, -0.5]),
+            action_high=np.array([0.3, 0.5]),
+        )
+        x = rng.standard_normal((11, 6))
+        np.testing.assert_array_equal(policy.act_batch(x), policy.deterministic(x))
+        sampled_fast = policy.act_batch(x, np.random.default_rng(42))
+        sampled_ref, _ = policy.sample(x, np.random.default_rng(42))
+        np.testing.assert_array_equal(sampled_fast, sampled_ref.data)
+
+
+class TestBatchedHeroRunner:
+    def test_act_produces_bounded_actions(self):
+        vec, team, runner = make_setup()
+        obs = vec.reset(0)
+        actions = runner.act(obs, epsilon=0.3, explore=True)
+        assert actions.shape == (vec.num_envs, vec.num_agents, 2)
+        space = team.env.action_spaces[team.env.agents[0]]
+        assert np.all(actions[..., 0] >= space.low[0] - 1e-12)
+        assert np.all(actions[..., 0] <= space.high[0] + 1e-12)
+        assert np.all(np.abs(actions[..., 1]) <= space.high[1] + 1e-12)
+
+    def test_rollout_fills_buffers_and_histories(self):
+        vec, team, runner = make_setup()
+        obs = vec.reset(0)
+        for _ in range(30):
+            actions = runner.act(obs, epsilon=0.5, explore=True)
+            obs, rewards, dones, infos = vec.step(actions)
+            runner.after_step(obs, rewards, dones, infos)
+        for agent in team.agents.values():
+            assert len(agent.high_level.buffer) > 0
+            assert len(agent.high_level.opponent_model.history) > 0
+        # Stored SMDP transitions must carry real option spans.
+        buffer = team.agents[team.env.agents[0]].high_level.buffer
+        stored = buffer.steps[: len(buffer)]
+        assert np.all(stored >= 1)
+        assert np.all(stored <= vec.scenario.episode_length)
+
+    def test_episode_stats_reported_on_done(self):
+        vec, team, runner = make_setup()
+        obs = vec.reset(0)
+        collected = []
+        for _ in range(25):
+            actions = runner.act(obs, epsilon=0.5, explore=True)
+            obs, rewards, dones, infos = vec.step(actions)
+            collected.extend(runner.after_step(obs, rewards, dones, infos))
+        assert collected, "8-step episodes must finish within 25 steps"
+        for stat in collected:
+            assert set(stat) >= {"env", "episode", "lane_change_attempts"}
+            assert stat["episode"]["length"] >= 1.0
+
+    def test_start_episode_resets_counters(self):
+        vec, team, runner = make_setup()
+        obs = vec.reset(0)
+        for _ in range(10):
+            actions = runner.act(obs, epsilon=1.0, explore=True)
+            obs, rewards, dones, infos = vec.step(actions)
+            runner.after_step(obs, rewards, dones, infos)
+        runner.start_episode(0)
+        assert runner.lane_change_attempts[0] == 0
+        assert bool(runner._needs_new[0].all())
+        assert runner._option[0, 0] == KEEP_LANE
+
+    def test_rejects_windowed_opponent_model(self):
+        vec, team, _ = make_setup()
+        agent = team.agents[team.env.agents[0]]
+        high = agent.high_level
+        high.opponent_model = WindowedOpponentModel(
+            high.obs_dim, high.num_options, high.num_opponents,
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="Windowed"):
+            BatchedHeroRunner(team, vec)
+
+    def test_rejects_distributed_observation_service(self):
+        """The batched path must not silently bypass the DTDE bus."""
+        from repro.distributed import DistributedObservationService
+
+        scenario = small_scenario()
+        vec = VectorEnv(2, scenario=scenario)
+        env = CooperativeLaneChangeEnv(scenario=scenario)
+        service = DistributedObservationService(env.agents, seed=0)
+        team = HeroTeam(
+            env, np.random.default_rng(0), observation_service=service
+        )
+        with pytest.raises(ValueError, match="ObservationService"):
+            BatchedHeroRunner(team, vec)
+
+    def test_rejects_custom_initiation_predicates(self):
+        """A state-dependent initiation set cannot be frozen into the
+        runner's static availability mask."""
+        from repro.core.options import OptionSet
+
+        option_set = OptionSet()
+        custom = option_set.options[0]
+        object.__setattr__(custom, "initiation", lambda vehicle: vehicle.lane_id == 0)
+        scenario = small_scenario()
+        vec = VectorEnv(2, scenario=scenario)
+        team = HeroTeam(
+            CooperativeLaneChangeEnv(scenario=scenario),
+            np.random.default_rng(0),
+            option_set=option_set,
+        )
+        with pytest.raises(ValueError, match="initiation"):
+            BatchedHeroRunner(team, vec)
+
+    def test_requires_feature_observations(self):
+        scenario = small_scenario(observation_mode="image")
+        vec = VectorEnv(2, scenario=scenario)
+        team = HeroTeam(
+            CooperativeLaneChangeEnv(scenario=small_scenario()),
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="features"):
+            BatchedHeroRunner(team, vec)
+
+
+class TestBatchedRolloutWorker:
+    def test_collect_returns_indexed_episodes(self):
+        vec, team, runner = make_setup()
+        worker = BatchedRolloutWorker(vec, team, runner)
+        worker.reset([1, 2, 3])
+        stats = worker.collect(lambda episode: 0.5)
+        assert stats
+        indices = [stat["episode_index"] for stat in stats]
+        assert all(0 <= i < vec.num_envs for i in indices)
+        # The finished envs must have been relaunched with fresh indices.
+        assert worker.episode_indices.max() >= vec.num_envs
+
+    def test_collect_epsilon_follows_schedule(self):
+        vec, team, runner = make_setup()
+        worker = BatchedRolloutWorker(vec, team, runner)
+        worker.reset([1, 2, 3])
+        stats = worker.collect(lambda episode: 0.1 * (episode + 1))
+        for stat in stats:
+            assert stat["epsilon"] == pytest.approx(
+                0.1 * (stat["episode_index"] + 1)
+            )
+
+
+class TestTrainHeroVectorized:
+    def test_train_hero_num_envs_runs_and_logs(self):
+        config = TrainingConfig(seed=0, num_envs=4)
+        config.scenario = small_scenario()
+        env = CooperativeLaneChangeEnv(scenario=config.scenario)
+        team = HeroTeam(env, np.random.default_rng(0), batch_size=8)
+        logger = train_hero(
+            env,
+            team,
+            episodes=6,
+            config=config,
+            num_envs=config.num_envs,
+            eval_every=3,
+            eval_episodes=1,
+        )
+        rewards = logger.values("hero/episode_reward")
+        assert len(rewards) == 6
+        assert np.all(np.isfinite(rewards))
+        assert len(logger.values("hero/eval_episode_reward")) >= 1
+        for agent in team.agents.values():
+            assert len(agent.high_level.buffer) > 0
+
+    def test_rejects_env_subclass(self):
+        """Vectorizing a subclassed env would silently swap its dynamics."""
+
+        class CustomEnv(CooperativeLaneChangeEnv):
+            pass
+
+        config = TrainingConfig(seed=0)
+        config.scenario = small_scenario()
+        env = CustomEnv(scenario=config.scenario)
+        team = HeroTeam(env, np.random.default_rng(0), batch_size=8)
+        with pytest.raises(ValueError, match="CustomEnv"):
+            train_hero(env, team, episodes=2, config=config, num_envs=2)
+
+    def test_custom_scripted_policy_is_replicated(self, monkeypatch):
+        """The caller's traffic must reach the vectorized envs (via the
+        scalar fallback), not be swapped for the default SlowLeader."""
+        from repro.envs import StationaryObstacle
+
+        import repro.core.trainer as trainer_module
+
+        built = []
+        original = trainer_module.VectorEnv
+
+        def recording_vector_env(num_envs, **kwargs):
+            vec = original(num_envs, **kwargs)
+            built.append(vec)
+            return vec
+
+        monkeypatch.setattr(trainer_module, "VectorEnv", recording_vector_env)
+        config = TrainingConfig(seed=0)
+        config.scenario = small_scenario()
+        policy = StationaryObstacle()
+        env = CooperativeLaneChangeEnv(
+            scenario=config.scenario, scripted_policy=policy
+        )
+        team = HeroTeam(env, np.random.default_rng(0), batch_size=8)
+        logger = train_hero(
+            env, team, episodes=2, config=config, num_envs=2, eval_every=0
+        )
+        assert len(logger.values("hero/episode_reward")) == 2
+        (vec,) = built
+        assert not vec.fast_path  # custom traffic -> scalar fallback
+        assert all(e._scripted_policy is policy for e in vec.envs)
+
+    def test_num_envs_defaults_from_config(self, monkeypatch):
+        """train_hero must honour TrainingConfig.num_envs when the kwarg
+        is omitted (the config field must not be write-only)."""
+        import repro.core.trainer as trainer_module
+
+        built = []
+        original = trainer_module.VectorEnv
+
+        def recording_vector_env(num_envs, **kwargs):
+            built.append(num_envs)
+            return original(num_envs, **kwargs)
+
+        monkeypatch.setattr(trainer_module, "VectorEnv", recording_vector_env)
+        config = TrainingConfig(seed=0, num_envs=2)
+        config.scenario = small_scenario()
+        env = CooperativeLaneChangeEnv(scenario=config.scenario)
+        team = HeroTeam(env, np.random.default_rng(0), batch_size=8)
+        train_hero(env, team, episodes=2, config=config, eval_every=0)
+        assert built == [2]

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.config import PaperHyperparameters, ScenarioConfig, TrainingConfig
+from repro.config import PaperHyperparameters
 from repro.core import (
     HighLevelAgent,
     LANE_CHANGE,
     KEEP_LANE,
     OpponentModel,
-    OptionSet,
     SACAgent,
     SkillLibrary,
     train_skill,
@@ -87,7 +86,6 @@ class TestSACAgent:
         """SAC should learn to prefer high-reward actions on a bandit-like
         problem: reward = -|action[0] - 0.15|."""
         agent = make_sac(lr=1e-2, batch_size=32)
-        rng = np.random.default_rng(3)
         obs = np.zeros(4)
         for _ in range(300):
             action = agent.act(obs)

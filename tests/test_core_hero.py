@@ -7,7 +7,6 @@ from repro.config import RewardConfig, ScenarioConfig, TrainingConfig
 from repro.core import (
     HeroTeam,
     LANE_CHANGE,
-    OPTION_NAMES,
     train_hero,
     train_low_level_skills,
 )
@@ -97,7 +96,6 @@ class TestHeroTeam:
     def test_update_after_data_returns_losses(self):
         env = CooperativeLaneChangeEnv(scenario=small_scenario())
         team = make_team(env, batch_size=8)
-        rng = np.random.default_rng(0)
         for episode in range(4):
             obs = env.reset(seed=episode)
             team.start_episode()

@@ -1,6 +1,5 @@
 """Tests for the options framework and option executor."""
 
-import numpy as np
 import pytest
 
 from repro.core.options import (

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core import SACAgent
 from repro.distributed import (
-    AgentNode,
     DistributedObservationService,
     MessageBus,
     OptionAnnouncement,

@@ -8,13 +8,10 @@ from hypothesis import strategies as st
 from repro.config import (
     TestbedConfig as ShiftConfig,
     LANE_CHANGE_BOUNDS,
-    RewardConfig,
     ScenarioConfig,
-
 )
 from repro.envs import (
     CooperativeLaneChangeEnv,
-    DiscreteActionWrapper,
     FlattenObservationWrapper,
     LaneChangeEnv,
     LaneKeepingEnv,

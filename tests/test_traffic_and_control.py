@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import ScenarioConfig
 from repro.envs import (
     LaneChangeEnv,
     LaneKeepingCruiser,

@@ -191,6 +191,23 @@ class TestReplayBuffer:
         with pytest.raises(ValueError):
             ReplayBuffer(0, 1, 1)
 
+    def test_storage_is_float32_by_default(self):
+        """A 100k-capacity buffer must not allocate float64 (2x memory)."""
+        buffer = ReplayBuffer(10, obs_dim=3, action_dim=2)
+        for name in ("obs", "actions", "rewards", "next_obs", "dones"):
+            assert getattr(buffer, name).dtype == np.float32, name
+        buffer.push(np.ones(3), np.zeros(2), 1.0, np.ones(3), False)
+        batch = buffer.sample(1, np.random.default_rng(0))
+        assert batch["obs"].dtype == np.float32
+
+    def test_dtype_override(self):
+        buffer = ReplayBuffer(4, 1, 1, dtype=np.float64)
+        assert buffer.obs.dtype == np.float64
+
+    def test_prioritized_inherits_float32(self):
+        buffer = PrioritizedReplayBuffer(8, 2, 1)
+        assert buffer.obs.dtype == np.float32
+
 
 class TestPrioritizedReplay:
     def test_weights_returned(self):

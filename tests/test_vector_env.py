@@ -1,0 +1,194 @@
+"""Tests for the vectorized environment (repro.envs.vector_env).
+
+The contract under test:
+
+* reset/step return stacked arrays with the documented shapes,
+* finished environments auto-reset and report their episode summary,
+* the fast path agrees **bitwise** with N independent scalar
+  ``CooperativeLaneChangeEnv`` instances stepped with the same seeds and
+  actions (the vectorized kernels mirror the scalar arithmetic
+  elementwise and share the lidar raycast kernel),
+* configurations the fast path cannot express fall back to scalar
+  stepping with identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.envs import CooperativeLaneChangeEnv, StationaryObstacle, VectorEnv
+
+
+def random_actions(rng, num_envs, num_agents):
+    return rng.uniform([0.0, -0.5], [0.3, 0.5], size=(num_envs, num_agents, 2))
+
+
+def assert_obs_rows_equal(vec_obs, scalar_obs, env_index, agents):
+    for k, agent in enumerate(agents):
+        for key, value in scalar_obs[agent].items():
+            np.testing.assert_array_equal(
+                vec_obs[key][env_index, k],
+                value,
+                err_msg=f"env {env_index} agent {agent} key {key}",
+            )
+
+
+class TestShapes:
+    def setup_method(self):
+        self.vec = VectorEnv(3)
+
+    def test_fast_path_active_for_default_config(self):
+        assert self.vec.fast_path
+
+    def test_reset_shapes(self):
+        obs = self.vec.reset(0)
+        cfg = self.vec.scenario
+        n, a = 3, cfg.num_learning_vehicles
+        assert obs["lidar"].shape == (n, a, cfg.lidar_beams)
+        assert obs["speed"].shape == (n, a, 1)
+        assert obs["lane_onehot"].shape == (n, a, cfg.num_lanes)
+        assert obs["features"].shape[:2] == (n, a)
+
+    def test_step_shapes_and_types(self):
+        self.vec.reset(0)
+        rng = np.random.default_rng(0)
+        obs, rewards, dones, infos = self.vec.step(
+            random_actions(rng, 3, self.vec.num_agents)
+        )
+        assert rewards.shape == (3,)
+        assert dones.shape == (3,) and dones.dtype == bool
+        assert len(infos) == 3 and all("t" in info for info in infos)
+        high = VectorEnv.flatten_high(obs)
+        assert high.shape == (3, self.vec.num_agents, self.vec.high_level_obs_dim)
+        low = VectorEnv.flatten_low(obs)
+        assert low.shape == (3, self.vec.num_agents, self.vec.low_level_obs_dim)
+
+    def test_step_rejects_wrong_shape(self):
+        self.vec.reset(0)
+        with pytest.raises(ValueError):
+            self.vec.step(np.zeros((3, self.vec.num_agents, 3)))
+        with pytest.raises(ValueError):
+            self.vec.step(np.zeros((2, self.vec.num_agents, 2)))
+
+    def test_unseeded_reset_gives_distinct_envs(self):
+        """reset(None) continues per-env RNG streams — they must differ,
+        or N parallel envs would collect N copies of the same episode."""
+        obs = self.vec.reset()
+        assert not np.array_equal(obs["features"][0], obs["features"][1])
+        assert not np.array_equal(obs["features"][1], obs["features"][2])
+
+    def test_reset_seed_forms(self):
+        obs_int = self.vec.reset(5)
+        obs_list = self.vec.reset([5, 6, 7])
+        for key in obs_int:
+            np.testing.assert_array_equal(obs_int[key], obs_list[key])
+        with pytest.raises(ValueError):
+            self.vec.reset([1, 2])
+
+
+class TestScalarAgreement:
+    """Bitwise agreement with N independent scalar envs, same seeds."""
+
+    @pytest.mark.parametrize("num_envs", [1, 4])
+    def test_bitwise_agreement_with_autoreset(self, num_envs):
+        vec = VectorEnv(num_envs)
+        assert vec.fast_path
+        seeds = [100 + i for i in range(num_envs)]
+        scalars = [CooperativeLaneChangeEnv() for _ in range(num_envs)]
+        scalar_obs = [env.reset(seed=s) for env, s in zip(scalars, seeds)]
+        vec_obs = vec.reset(seeds)
+        agents = vec.agents
+        for i in range(num_envs):
+            assert_obs_rows_equal(vec_obs, scalar_obs[i], i, agents)
+
+        rng = np.random.default_rng(9)
+        episodes_seen = 0
+        for step in range(120):
+            actions = random_actions(rng, num_envs, vec.num_agents)
+            vec_obs, vec_rewards, vec_dones, vec_infos = vec.step(actions)
+            for i, env in enumerate(scalars):
+                action_dict = {
+                    agent: actions[i, k] for k, agent in enumerate(agents)
+                }
+                obs, rewards, dones, info = env.step(action_dict)
+                assert rewards[agents[0]] == vec_rewards[i]
+                assert dones["__all__"] == vec_dones[i]
+                if dones["__all__"]:
+                    episodes_seen += 1
+                    # Terminal observation and summary must match before the
+                    # row is replaced by the autoreset observation.
+                    summary = info.get("episode", env.episode_summary())
+                    assert vec_infos[i]["episode"] == summary
+                    term = vec_infos[i]["terminal_observation"]
+                    for k, agent in enumerate(agents):
+                        for key, value in obs[agent].items():
+                            np.testing.assert_array_equal(term[key][k], value)
+                    obs = env.reset()  # scalar mirror of the autoreset
+                scalar_obs[i] = obs
+                assert_obs_rows_equal(vec_obs, scalar_obs[i], i, agents)
+        assert episodes_seen > 0, "rollout never hit an episode boundary"
+
+    def test_post_step_lane_state_matches_scalar(self):
+        vec = VectorEnv(2)
+        scalar = CooperativeLaneChangeEnv()
+        vec.reset([3, 4])
+        scalar.reset(seed=3)
+        rng = np.random.default_rng(1)
+        actions = random_actions(rng, 2, vec.num_agents)
+        vec.step(actions)
+        scalar.step({a: actions[0, k] for k, a in enumerate(scalar.agents)})
+        for k, agent in enumerate(scalar.agents):
+            vehicle = scalar.vehicle(agent)
+            assert vec.lane_ids[0, k] == vehicle.lane_id
+            assert vec.lane_deviation[0, k] == vehicle.lane_deviation
+
+
+class TestFallback:
+    def test_custom_scripted_policy_uses_fallback(self):
+        env_fns = [
+            lambda: CooperativeLaneChangeEnv(scripted_policy=StationaryObstacle())
+            for _ in range(2)
+        ]
+        vec = VectorEnv(2, env_fns=env_fns)
+        assert not vec.fast_path
+
+    def test_image_mode_uses_fallback(self):
+        scenario = ScenarioConfig(observation_mode="image")
+        vec = VectorEnv(2, scenario=scenario)
+        assert not vec.fast_path
+
+    def test_fallback_matches_scalar(self):
+        scenario = ScenarioConfig(observation_mode="image", episode_length=6)
+        vec = VectorEnv(2, scenario=scenario)
+        scalar = CooperativeLaneChangeEnv(scenario=scenario)
+        vec_obs = vec.reset([11, 12])
+        scalar_obs = scalar.reset(seed=11)
+        assert_obs_rows_equal(vec_obs, scalar_obs, 0, vec.agents)
+        rng = np.random.default_rng(2)
+        for _ in range(8):  # crosses the episode boundary -> autoreset
+            actions = random_actions(rng, 2, vec.num_agents)
+            vec_obs, vec_rewards, vec_dones, _ = vec.step(actions)
+            obs, rewards, dones, _ = scalar.step(
+                {a: actions[0, k] for k, a in enumerate(scalar.agents)}
+            )
+            assert rewards[scalar.agents[0]] == vec_rewards[0]
+            assert dones["__all__"] == vec_dones[0]
+            if dones["__all__"]:
+                obs = scalar.reset()
+            assert_obs_rows_equal(vec_obs, obs, 0, vec.agents)
+
+
+class TestSyncToEnvs:
+    def test_sync_writes_vehicle_state_back(self):
+        vec = VectorEnv(2)
+        vec.reset([1, 2])
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            vec.step(random_actions(rng, 2, vec.num_agents))
+        vec.sync_to_envs()
+        for i, env in enumerate(vec.envs):
+            for k, agent in enumerate(env.agents):
+                vehicle = env.vehicle(agent)
+                assert vehicle.state.s == vec._s[i, k]
+                assert vehicle.state.d == vec._d[i, k]
+            assert env._t == 3
