@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI smoke: one Table 2 matrix cell per baseline on the vectorized path.
+
+Trains one baseline for a handful of episodes with ``--num-envs``
+vectorized env copies (the exact stack ``repro run table2 --num-envs N``
+uses), evaluates its domain-shifted Table 2 testbed cell, and then guards
+against vectorized-vs-scalar drift: a fresh pair of identically-seeded
+algorithms is trained through ``train_marl`` and
+``train_marl_vectorized(num_envs=1)`` and their metric series must be
+bit-for-bit identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_table2_cell.py idqn \
+        --episodes 2 --num-envs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines import BASELINES, make_baseline, train_marl, train_marl_vectorized
+from repro.config import RewardConfig, TestbedConfig
+from repro.envs import (
+    CooperativeLaneChangeEnv,
+    DiscreteActionWrapper,
+    RealWorldTestbed,
+    make_baseline_env,
+    make_baseline_vector_env,
+)
+from repro.experiments.common import bench_scenario, train_baseline_method
+from repro.experiments.table2 import _FlattenShifted
+
+
+def run_cell(name: str, episodes: int, num_envs: int, seed: int) -> dict:
+    """Train one baseline vectorized and evaluate its Table 2 cell."""
+    scenario = bench_scenario()
+    rewards = RewardConfig()
+    trained = train_baseline_method(
+        name, scenario, rewards, episodes=episodes, seed=seed, num_envs=num_envs
+    )
+    recorded = len(trained.logger.values(f"{name}/episode_reward"))
+    if recorded != episodes:
+        raise SystemExit(f"{name}: logged {recorded} episodes, expected {episodes}")
+
+    base = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
+    shifted = RealWorldTestbed(base, TestbedConfig(), seed=seed + 7)
+    testbed = DiscreteActionWrapper(_FlattenShifted(shifted))
+    metrics = trained.evaluate(testbed, 2, seed + 200)
+    for key, value in metrics.items():
+        if not np.isfinite(value):
+            raise SystemExit(f"{name}: testbed metric {key} is not finite")
+    return metrics
+
+
+def check_drift(name: str, episodes: int, seed: int) -> None:
+    """num_envs=1 vectorized training must match the scalar loop exactly."""
+    scenario = bench_scenario()
+    kwargs = {"batch_size": 16} if name != "coma" else {}
+    env = make_baseline_env(scenario=scenario)
+    algo_scalar = make_baseline(name, env, seed=seed, **kwargs)
+    log_scalar = train_marl(env, algo_scalar, episodes=episodes, seed=seed)
+
+    vec_env = make_baseline_vector_env(1, scenario=scenario)
+    algo_vec = make_baseline(name, vec_env, seed=seed, **kwargs)
+    log_vec = train_marl_vectorized(vec_env, algo_vec, episodes=episodes, seed=seed)
+
+    if log_scalar.names() != log_vec.names():
+        raise SystemExit(
+            f"{name}: metric names drifted: "
+            f"{sorted(set(log_scalar.names()) ^ set(log_vec.names()))}"
+        )
+    for metric in log_scalar.names():
+        if not np.array_equal(log_scalar.values(metric), log_vec.values(metric)):
+            raise SystemExit(
+                f"{name}: vectorized-vs-scalar drift in {metric}: "
+                f"{log_scalar.values(metric)} != {log_vec.values(metric)}"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", choices=sorted(BASELINES))
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--num-envs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    metrics = run_cell(args.baseline, args.episodes, args.num_envs, args.seed)
+    row = " ".join(f"{key}={value:.4f}" for key, value in sorted(metrics.items()))
+    print(f"table2[{args.baseline}] (num_envs={args.num_envs}): {row}")
+
+    check_drift(args.baseline, args.episodes, args.seed)
+    print(f"table2[{args.baseline}]: num_envs=1 vectorized == scalar (no drift)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """End-to-end MARL baselines from the paper's evaluation (Sec. V-A)."""
 
-from .base import MARLAlgorithm, evaluate_marl, train_marl
+from .base import MARLAlgorithm, evaluate_marl, train_marl, train_marl_vectorized
 from .coma import COMA
 from .idqn import IndependentDQN
 from .maac import MAAC, AttentionCritic
@@ -18,4 +18,5 @@ __all__ = [
     "evaluate_marl",
     "make_baseline",
     "train_marl",
+    "train_marl_vectorized",
 ]

@@ -8,14 +8,26 @@ the paper comes precisely from not having to learn in that flat space.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..utils.logging_utils import MetricLogger
 from ..utils.schedule import LinearSchedule
+from ..utils.seeding import episode_reset_seeds
 
 
 class MARLAlgorithm:
-    """Interface every baseline implements."""
+    """Interface every baseline implements.
+
+    Besides the scalar ``act``/``observe`` pair, algorithms expose batched
+    counterparts operating on stacked arrays from a
+    :class:`~repro.envs.wrappers.VectorBaselineEnv`.  The defaults below
+    loop over the batch and delegate to the scalar methods, so third-party
+    subclasses keep working under :func:`train_marl_vectorized` without
+    changes; the in-tree baselines override them with true batched
+    implementations built on the gradient-free ``Sequential.infer`` paths.
+    """
 
     name: str = "base"
 
@@ -49,6 +61,59 @@ class MARLAlgorithm:
     def end_episode(self) -> None:
         """Hook for on-policy methods (COMA) to consume the episode."""
 
+    # ------------------------------------------------------------------
+    # Batched interface (vectorized training)
+    # ------------------------------------------------------------------
+    def act_batch(self, observations: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Actions for a ``(num_envs, num_agents, obs_dim)`` observation stack.
+
+        Returns integer actions of shape ``(num_envs, num_agents)``.  During
+        vectorized training ``self.epsilon`` (when the algorithm has one) may
+        be a ``(num_envs,)`` array — one exploration rate per env, since the
+        envs run different episode indices of the schedule.  This default
+        delegates row-by-row to :meth:`act`.
+        """
+        epsilon = getattr(self, "epsilon", None)
+        per_env = epsilon is not None and np.ndim(epsilon) > 0
+        actions = np.empty((len(observations), self.num_agents), dtype=np.int64)
+        for i, row in enumerate(observations):
+            if per_env:
+                self.epsilon = float(np.asarray(epsilon)[i])
+            obs = {agent: row[k] for k, agent in enumerate(self.agent_ids)}
+            row_actions = self.act(obs, explore=explore)
+            actions[i] = [row_actions[agent] for agent in self.agent_ids]
+        if per_env:
+            self.epsilon = epsilon
+        return actions
+
+    def observe_batch(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_observations: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Record a batch of transitions, one row per env.
+
+        ``rewards`` and ``dones`` are ``(num_envs,)`` (the team reward is
+        shared and every agent terminates with the env).  This default
+        delegates row-by-row to :meth:`observe`; note that on-policy
+        algorithms whose ``observe`` accumulates a single running episode
+        must override this for ``num_envs > 1`` (rows from different envs
+        interleave), as :class:`~repro.baselines.coma.COMA` does.
+        """
+        for i in range(len(observations)):
+            obs = {a: observations[i, k] for k, a in enumerate(self.agent_ids)}
+            next_obs = {
+                a: next_observations[i, k] for k, a in enumerate(self.agent_ids)
+            }
+            acts = {a: int(actions[i, k]) for k, a in enumerate(self.agent_ids)}
+            rews = {a: float(rewards[i]) for a in self.agent_ids}
+            done_dict = {a: bool(dones[i]) for a in self.agent_ids}
+            done_dict["__all__"] = bool(dones[i])
+            self.observe(obs, acts, rews, next_obs, done_dict)
+
     # Convenience used by every subclass.
     def _stack(self, observations: dict[str, np.ndarray]) -> np.ndarray:
         return np.stack([observations[a] for a in self.agent_ids])
@@ -77,7 +142,9 @@ def train_marl(
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
-    rng = np.random.default_rng(seed)
+    # Reset seeds are a pure function of (seed, episode) so the vectorized
+    # loop — which finishes episodes out of order — replays the same stream.
+    reset_seeds = episode_reset_seeds(seed, episodes)
     epsilon_schedule = LinearSchedule(
         epsilon_start, epsilon_end, epsilon_decay_episodes or max(episodes // 2, 1)
     )
@@ -87,7 +154,7 @@ def train_marl(
         epsilon = epsilon_schedule(episode)
         if hasattr(algorithm, "epsilon"):
             algorithm.epsilon = epsilon
-        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+        obs = env.reset(seed=int(reset_seeds[episode]))
         done = False
         info: dict = {}
         while not done:
@@ -127,6 +194,149 @@ def train_marl(
                 },
                 episode,
             )
+    return logger
+
+
+def train_marl_vectorized(
+    vec_env,
+    algorithm: MARLAlgorithm,
+    episodes: int,
+    seed: int = 0,
+    epsilon_start: float = 1.0,
+    epsilon_end: float = 0.05,
+    epsilon_decay_episodes: int | None = None,
+    updates_per_episode: int = 1,
+    logger: MetricLogger | None = None,
+    metric_prefix: str | None = None,
+    eval_every: int | None = None,
+    eval_episodes: int = 3,
+    eval_env=None,
+) -> MetricLogger:
+    """:func:`train_marl` with the rollout phase on a ``VectorBaselineEnv``.
+
+    Episode accounting is per env: env ``i`` always runs a specific episode
+    index, whose reset seed and exploration epsilon come from the same
+    per-episode streams as the scalar loop, and each finished episode
+    triggers the scalar loop's ``end_episode`` / update budget / logging /
+    greedy-eval sequence under its own episode index (metrics are flushed to
+    the logger in episode order).  With ``num_envs == 1`` this reproduces
+    :func:`train_marl` bit-for-bit; with more envs only experience
+    collection changes — once the episode budget is exhausted, still-running
+    envs keep feeding the replay buffers until their last counted episode
+    finishes.
+
+    ``eval_env`` is the scalar env used for the interleaved greedy
+    evaluations (the vectorized env cannot run :func:`evaluate_marl`);
+    by default one is built from the vector env's scenario/reward configs.
+    """
+    logger = logger or MetricLogger()
+    prefix = metric_prefix or algorithm.name
+    epsilon_schedule = LinearSchedule(
+        epsilon_start, epsilon_end, epsilon_decay_episodes or max(episodes // 2, 1)
+    )
+    if eval_every is None:
+        eval_every = max(episodes // 40, 1)
+    if eval_env is None:
+        from ..envs.wrappers import make_baseline_env
+
+        eval_env = make_baseline_env(
+            scenario=vec_env.scenario, rewards=vec_env.rewards
+        )
+    if not vec_env.fast_path:
+        warnings.warn(
+            "VectorBaselineEnv is stepping on the scalar fallback "
+            f"({vec_env.fallback_reason}); training is correct but not "
+            "vectorized",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    n = vec_env.num_envs
+    reset_seeds = episode_reset_seeds(seed, max(episodes, n))
+    episode_of_env = np.arange(n)
+    next_to_start = n
+    obs = vec_env.reset(seeds=[int(reset_seeds[e]) for e in episode_of_env])
+
+    # Completed episodes are logged strictly in episode-index order so the
+    # recorded series are directly comparable with the scalar loop's.
+    pending: dict[int, dict] = {}
+    next_to_log = 0
+    while next_to_log < episodes:
+        eps = np.array(
+            [epsilon_schedule(min(int(e), episodes - 1)) for e in episode_of_env]
+        )
+        if hasattr(algorithm, "epsilon"):
+            algorithm.epsilon = float(eps[0]) if n == 1 else eps
+        actions = algorithm.act_batch(obs, explore=True)
+        next_obs, rewards, dones, infos = vec_env.step(actions)
+        observed_next = next_obs
+        if dones.any():
+            # Done rows already hold the auto-reset observation; the stored
+            # transition must see the terminal one, as the scalar loop does.
+            observed_next = next_obs.copy()
+            for i in np.flatnonzero(dones):
+                observed_next[i] = infos[i]["terminal_observation"]
+        algorithm.observe_batch(obs, actions, rewards, observed_next, dones)
+        obs = next_obs
+
+        for i in np.flatnonzero(dones):
+            episode = int(episode_of_env[i])
+            algorithm.end_episode()
+            if episode < episodes:
+                losses = None
+                for _ in range(updates_per_episode):
+                    losses = algorithm.update()
+                summary = infos[i]["episode"]
+                payload = {
+                    "metrics": {
+                        f"{prefix}/episode_reward": summary["episode_reward"],
+                        f"{prefix}/collision_rate": summary["collision"],
+                        f"{prefix}/merge_success_rate": summary["merge_success_rate"],
+                        f"{prefix}/mean_speed": summary["mean_speed"],
+                    },
+                    "losses": {
+                        f"{prefix}/{name}": value
+                        for name, value in (losses or {}).items()
+                    },
+                    "eval": None,
+                }
+                if eval_every and (
+                    episode % eval_every == 0 or episode == episodes - 1
+                ):
+                    eval_metrics = evaluate_marl(
+                        eval_env,
+                        algorithm,
+                        episodes=eval_episodes,
+                        seed=seed + 500 + episode,
+                    )
+                    payload["eval"] = {
+                        f"{prefix}/eval_episode_reward": eval_metrics["episode_reward"],
+                        f"{prefix}/eval_collision_rate": eval_metrics["collision_rate"],
+                        f"{prefix}/eval_merge_success_rate": eval_metrics[
+                            "success_rate"
+                        ],
+                        f"{prefix}/eval_mean_speed": eval_metrics["mean_speed"],
+                    }
+                pending[episode] = payload
+                while next_to_log in pending:
+                    flushed = pending.pop(next_to_log)
+                    logger.log_many(flushed["metrics"], next_to_log)
+                    for name, value in flushed["losses"].items():
+                        logger.log(name, value, next_to_log)
+                    if flushed["eval"]:
+                        logger.log_many(flushed["eval"], next_to_log)
+                    next_to_log += 1
+
+            # Hand the env its next episode (seeded), or let it idle on the
+            # auto-reset rollout once the budget is exhausted.
+            episode_of_env[i] = next_to_start
+            if next_to_start < len(reset_seeds):
+                row = vec_env.reset_env(i, seed=int(reset_seeds[next_to_start]))
+                obs[i] = row
+            next_to_start += 1
+
+    if hasattr(algorithm, "epsilon"):
+        algorithm.epsilon = float(epsilon_schedule(episodes - 1))
     return logger
 
 

@@ -78,6 +78,7 @@ class COMA(MARLAlgorithm):
 
         self._episode: list[dict] = []
         self._pending_episodes: list[list[dict]] = []
+        self._env_episodes: list[list[dict]] = []
 
     # ------------------------------------------------------------------
     def act(self, observations, explore: bool = True) -> dict[str, int]:
@@ -99,12 +100,62 @@ class COMA(MARLAlgorithm):
             }
         )
 
+    def _queue_episode(self, episode: list[dict]) -> None:
+        self._pending_episodes.append(episode)
+        if len(self._pending_episodes) > self.max_episodes_per_update:
+            self._pending_episodes.pop(0)
+
     def end_episode(self) -> None:
         if self._episode:
-            self._pending_episodes.append(self._episode)
+            self._queue_episode(self._episode)
             self._episode = []
-            if len(self._pending_episodes) > self.max_episodes_per_update:
-                self._pending_episodes.pop(0)
+
+    # ------------------------------------------------------------------
+    # Batched interface (vectorized training)
+    # ------------------------------------------------------------------
+    def act_batch(self, observations, explore: bool = True) -> np.ndarray:
+        """Batched sampling from the actors via the gradient-free path;
+        bit-identical to :meth:`act` at ``num_envs == 1``."""
+        num_envs = len(observations)
+        actions = np.empty((num_envs, self.num_agents), dtype=np.int64)
+        for i in range(self.num_agents):
+            logits = self.actors[i].logits_inference(observations[:, i])
+            if explore:
+                actions[:, i] = sample_categorical(logits, self._rng)
+            else:
+                actions[:, i] = np.argmax(logits, axis=-1)
+        return actions
+
+    def observe_batch(self, observations, actions, rewards, next_observations, dones):
+        """Accumulate each env's episode separately.
+
+        On-policy COMA cannot use the row-by-row default — steps from
+        different envs would interleave into one corrupt episode — so rows
+        are appended to per-env lists and queued for the next update the
+        moment their env reports done (``end_episode`` then has nothing
+        left to flush).
+        """
+        num_envs = len(observations)
+        if len(self._env_episodes) != num_envs:
+            self._env_episodes = [[] for _ in range(num_envs)]
+        for i in range(num_envs):
+            self._env_episodes[i].append(
+                {
+                    # Rows are views into the trainer's reused batch: copy.
+                    "obs": np.array(observations[i]),
+                    "actions": np.array(actions[i]),
+                    # Not an identity: the scalar observe() stores the mean
+                    # over num_agents copies of the shared team reward, and
+                    # pairwise summation of e.g. 3 copies can round — the
+                    # same expression keeps the stored value bit-identical.
+                    "reward": float(
+                        np.mean(np.full(self.num_agents, float(rewards[i])))
+                    ),
+                }
+            )
+            if dones[i]:
+                self._queue_episode(self._env_episodes[i])
+                self._env_episodes[i] = []
 
     # ------------------------------------------------------------------
     def _critic_inputs(self, obs: np.ndarray, actions: np.ndarray, agent: int):

@@ -85,6 +85,52 @@ class IndependentDQN(MARLAlgorithm):
             )
 
     # ------------------------------------------------------------------
+    # Batched interface (vectorized training)
+    # ------------------------------------------------------------------
+    def act_batch(self, observations, explore: bool = True) -> np.ndarray:
+        """Batched epsilon-greedy over ``(num_envs, agents, obs_dim)`` stacks.
+
+        Greedy rows go through the gradient-free ``Sequential.infer`` path
+        in one forward per agent.  ``self.epsilon`` may be per-env
+        (``(num_envs,)``).  At ``num_envs == 1`` this consumes ``self._rng``
+        exactly like :meth:`act` — one uniform per agent, plus one bounded
+        integer when that agent explores — so vectorized training with one
+        env reproduces the scalar loop bit-for-bit.
+        """
+        num_envs = len(observations)
+        epsilon = np.broadcast_to(
+            np.asarray(self.epsilon, dtype=np.float64), (num_envs,)
+        )
+        actions = np.empty((num_envs, self.num_agents), dtype=np.int64)
+        for k, agent in enumerate(self.agent_ids):
+            if explore:
+                explore_rows = self._rng.uniform(size=num_envs) < epsilon
+            else:
+                explore_rows = np.zeros(num_envs, dtype=bool)
+            num_explore = int(explore_rows.sum())
+            if num_explore:
+                actions[explore_rows, k] = self._rng.integers(
+                    0, self.num_actions, size=num_explore
+                )
+            greedy_rows = ~explore_rows
+            if greedy_rows.any():
+                q_rows = self.q_networks[agent].trunk.infer(
+                    observations[greedy_rows, k]
+                )
+                actions[greedy_rows, k] = np.argmax(q_rows, axis=-1)
+        return actions
+
+    def observe_batch(self, observations, actions, rewards, next_observations, dones):
+        for k, agent in enumerate(self.agent_ids):
+            self.buffers[agent].push_batch(
+                observations[:, k],
+                actions[:, k : k + 1],
+                rewards,
+                next_observations[:, k],
+                dones,
+            )
+
+    # ------------------------------------------------------------------
     def update(self) -> dict[str, float] | None:
         if any(len(b) < max(self.batch_size // 4, 8) for b in self.buffers.values()):
             return None

@@ -178,6 +178,33 @@ class MAAC(MARLAlgorithm):
         )
 
     # ------------------------------------------------------------------
+    # Batched interface (vectorized training)
+    # ------------------------------------------------------------------
+    def act_batch(self, observations, explore: bool = True) -> np.ndarray:
+        """Batched sampling from the shared actor via the gradient-free
+        path; bit-identical to :meth:`act` at ``num_envs == 1``."""
+        num_envs = len(observations)
+        actions = np.empty((num_envs, self.num_agents), dtype=np.int64)
+        for i in range(self.num_agents):
+            logits = self.actor.logits_inference(
+                self._actor_input(observations[:, i], i)
+            )
+            if explore:
+                actions[:, i] = sample_categorical(logits, self._rng)
+            else:
+                actions[:, i] = np.argmax(logits, axis=-1)
+        return actions
+
+    def observe_batch(self, observations, actions, rewards, next_observations, dones):
+        rewards_joint = np.broadcast_to(
+            np.asarray(rewards, dtype=np.float64)[:, None],
+            (len(observations), self.num_agents),
+        )
+        self.buffer.push_batch(
+            observations, actions, rewards_joint, next_observations, dones
+        )
+
+    # ------------------------------------------------------------------
     def update(self) -> dict[str, float] | None:
         if len(self.buffer) < max(self.batch_size // 4, 8):
             return None

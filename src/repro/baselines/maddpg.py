@@ -104,6 +104,36 @@ class MADDPG(MARLAlgorithm):
         )
 
     # ------------------------------------------------------------------
+    # Batched interface (vectorized training)
+    # ------------------------------------------------------------------
+    def act_batch(self, observations, explore: bool = True) -> np.ndarray:
+        """Batched sampling from the actors via the gradient-free path.
+
+        One inference forward per agent over the env batch; at
+        ``num_envs == 1`` the categorical draw consumes ``self._rng``
+        exactly like :meth:`act`, so vectorized training with one env
+        reproduces the scalar loop bit-for-bit.
+        """
+        num_envs = len(observations)
+        actions = np.empty((num_envs, self.num_agents), dtype=np.int64)
+        for i in range(self.num_agents):
+            logits = self.actors[i].logits_inference(observations[:, i])
+            if explore:
+                actions[:, i] = sample_categorical(logits, self._rng)
+            else:
+                actions[:, i] = np.argmax(logits, axis=-1)
+        return actions
+
+    def observe_batch(self, observations, actions, rewards, next_observations, dones):
+        rewards_joint = np.broadcast_to(
+            np.asarray(rewards, dtype=np.float64)[:, None],
+            (len(observations), self.num_agents),
+        )
+        self.buffer.push_batch(
+            observations, actions, rewards_joint, next_observations, dones
+        )
+
+    # ------------------------------------------------------------------
     def update(self) -> dict[str, float] | None:
         if len(self.buffer) < max(self.batch_size // 4, 8):
             return None

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..envs.wrappers import DiscreteActionWrapper
+from ..envs.wrappers import DiscreteActionWrapper, VectorBaselineEnv
 from .base import MARLAlgorithm
 from .coma import COMA
 from .idqn import IndependentDQN
@@ -21,14 +21,22 @@ BASELINES = {
 
 def make_baseline(
     name: str,
-    env: DiscreteActionWrapper,
+    env: DiscreteActionWrapper | VectorBaselineEnv,
     seed: int = 0,
     **kwargs,
 ) -> MARLAlgorithm:
-    """Instantiate a baseline sized for the given discrete env stack."""
+    """Instantiate a baseline sized for the given discrete env stack.
+
+    Accepts either the scalar stack (:func:`~repro.envs.make_baseline_env`)
+    or its vectorized counterpart — the same algorithm instance drives both
+    through the scalar/batched halves of the
+    :class:`~repro.baselines.base.MARLAlgorithm` interface.
+    """
     if name not in BASELINES:
         raise ValueError(f"unknown baseline {name!r}; options: {sorted(BASELINES)}")
-    obs_dim = env.env.obs_dim  # DiscreteActionWrapper wraps the flatten wrapper
+    obs_dim = getattr(env, "obs_dim", None)
+    if obs_dim is None:
+        obs_dim = env.env.obs_dim  # DiscreteActionWrapper wraps the flatten wrapper
     return BASELINES[name](
         agent_ids=list(env.agents),
         obs_dim=obs_dim,

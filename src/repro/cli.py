@@ -95,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-envs",
         type=_positive_int,
         default=1,
-        help="vectorized env copies for HERO rollouts (1 = scalar loop)",
+        help="vectorized env copies for HERO and baseline training (1 = scalar loop)",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -106,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-envs",
         type=_positive_int,
         default=1,
-        help="vectorized env copies for HERO rollouts (1 = scalar loop)",
+        help="vectorized env copies for HERO and baseline training (1 = scalar loop)",
     )
     run_all.set_defaults(func=_cmd_run_all)
 

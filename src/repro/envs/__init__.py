@@ -20,7 +20,9 @@ from .vehicle import Vehicle, VehicleState
 from .wrappers import (
     DiscreteActionWrapper,
     FlattenObservationWrapper,
+    VectorBaselineEnv,
     make_baseline_env,
+    make_baseline_vector_env,
 )
 
 __all__ = [
@@ -45,6 +47,7 @@ __all__ = [
     "StationaryObstacle",
     "StraightTrack",
     "Track",
+    "VectorBaselineEnv",
     "VectorEnv",
     "Vehicle",
     "VehicleState",
@@ -55,6 +58,7 @@ __all__ = [
     "feature_vector",
     "low_level_obs_dim",
     "make_baseline_env",
+    "make_baseline_vector_env",
     "make_track",
     "print_episode",
     "render_episode_frames",

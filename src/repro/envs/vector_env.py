@@ -33,10 +33,19 @@ import numpy as np
 from ..config import RewardConfig, ScenarioConfig
 from ..utils.math_utils import wrap_angle
 from .lane_change_env import CooperativeLaneChangeEnv
-from .traffic import SlowLeader
+from .traffic import LaneKeepingCruiser, ScriptedPolicy, SlowLeader, StationaryObstacle
 from .vehicle import MAX_HEADING_ERROR
 
 ObsBatch = dict[str, np.ndarray]
+
+
+def _scripted_policy_params(policy: ScriptedPolicy) -> tuple:
+    """The parameters the vectorized scripted kernels read, for equality."""
+    if type(policy) is SlowLeader:
+        return (policy.speed, policy.steer_gain)
+    if type(policy) is LaneKeepingCruiser:
+        return (policy.target_speed, policy.safe_gap, policy.steer_gain)
+    return ()
 
 
 class VectorEnv:
@@ -76,7 +85,8 @@ class VectorEnv:
         self.high_level_obs_dim = template.high_level_obs_dim
         self.low_level_obs_dim = template.low_level_obs_dim
 
-        self._fast = self._fast_path_eligible()
+        self._fallback_reason = self._fast_path_blocker()
+        self._fast = self._fallback_reason is None
         self._allocate_state()
         # Materialise vehicles once so static attributes (radii, speed caps)
         # can be read; any later reset(seed=...) reseeds the per-env RNGs, so
@@ -97,32 +107,60 @@ class VectorEnv:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _fast_path_eligible(self) -> bool:
+    def _fast_path_blocker(self) -> str | None:
+        """Why the stacked fast path cannot be used (None when it can).
+
+        The fast path mirrors the scalar arithmetic elementwise, so it is
+        only valid when every wrapped env shares a configuration those
+        kernels can express: feature observations, identical scenario /
+        reward / track parameters, and a scripted policy with a vectorized
+        kernel (:class:`SlowLeader`, :class:`LaneKeepingCruiser`,
+        :class:`StationaryObstacle`).
+        """
         template = self._envs[0]
         for env in self._envs:
             if type(env) is not CooperativeLaneChangeEnv:
-                return False
+                return (
+                    f"env type {type(env).__name__} is not exactly "
+                    "CooperativeLaneChangeEnv"
+                )
             if env.scenario != template.scenario or env.rewards != template.rewards:
-                return False
+                return "envs differ in scenario or reward configuration"
             if env.scenario.observation_mode != "features":
-                return False
-            if type(env._scripted_policy) is not SlowLeader:
-                return False
-            if env._scripted_policy.speed != template._scripted_policy.speed:
-                return False
+                return (
+                    f"observation_mode={env.scenario.observation_mode!r} "
+                    "has no vectorized kernel (need 'features')"
+                )
+            policy = env._scripted_policy
+            if type(policy) not in (SlowLeader, LaneKeepingCruiser, StationaryObstacle):
+                return (
+                    f"scripted policy {type(policy).__name__} has no "
+                    "vectorized kernel"
+                )
+            if type(policy) is not type(template._scripted_policy):
+                return "envs differ in scripted policy type"
+            if _scripted_policy_params(policy) != _scripted_policy_params(
+                template._scripted_policy
+            ):
+                return "envs differ in scripted policy parameters"
             track, ref = env.track, template.track
             if (
                 track.length != ref.length
                 or track.num_lanes != ref.num_lanes
                 or track.lane_width != ref.lane_width
             ):
-                return False
-        return True
+                return "envs differ in track geometry"
+        return None
 
     @property
     def fast_path(self) -> bool:
         """Whether steps run on the stacked-array path (vs scalar fallback)."""
         return self._fast
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Why this instance stepped onto the scalar fallback (None if fast)."""
+        return self._fallback_reason
 
     @property
     def envs(self) -> list[CooperativeLaneChangeEnv]:
@@ -254,6 +292,23 @@ class VectorEnv:
         self._sync_from_env(i)
         return obs
 
+    def reset_env(self, i: int, seed: int | None = None) -> dict[str, np.ndarray]:
+        """Reset just environment ``i`` (optionally seeded).
+
+        Returns that env's observation rows stacked over agents, so callers
+        driving per-env episode schedules (e.g. seeded per-episode resets in
+        :func:`repro.baselines.base.train_marl_vectorized`) can overwrite the
+        corresponding rows of a batched observation.
+        """
+        if not 0 <= i < self.num_envs:
+            raise IndexError(f"env index {i} out of range [0, {self.num_envs})")
+        obs = self._envs[i].reset(seed=seed)
+        self._sync_from_env(i)
+        return {
+            key: np.stack([obs[agent][key] for agent in self.agents])
+            for key in obs[self.agents[0]]
+        }
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
@@ -287,43 +342,34 @@ class VectorEnv:
 
         travel_before = self._distance[:, :a].copy()
 
-        # --- Commands: learning agents from `actions`, scripted vehicles
-        # from the (vectorized) SlowLeader lane-centering controller.
-        lin_cmd = np.empty((n, v))
-        ang_cmd = np.empty((n, v))
-        lin_cmd[:, :a] = actions[:, :, 0]
-        ang_cmd[:, :a] = actions[:, :, 1]
+        # --- Scripted vehicles move first, mirroring the scalar loop's
+        # ordering.  Only LaneKeepingCruiser reads other vehicles' state, so
+        # only it needs the scalar loop's sequential update (vehicle k's
+        # controller sees vehicles j < k already moved); the self-contained
+        # policies keep the original single batched kinematics pass.
         if v > a:
-            policy: SlowLeader = self._envs[0]._scripted_policy
-            lanes_scripted = self._lane_of(self._d[:, a:])
-            target_d = self._lane_center(lanes_scripted)
-            lateral_error = target_d - self._d[:, a:]
-            command = (
-                policy.steer_gain * lateral_error
-                - 1.5 * policy.steer_gain * self._heading[:, a:]
-            )
-            lin_cmd[:, a:] = policy.speed
-            ang_cmd[:, a:] = np.clip(command, -0.3, 0.3)
+            policy = self._envs[0]._scripted_policy
+            if type(policy) is LaneKeepingCruiser:
+                for k in range(v - a):
+                    lin_k, ang_k = self._cruiser_commands(k)
+                    self._apply_kinematics(
+                        slice(a + k, a + k + 1),
+                        lin_k[:, None],
+                        ang_k[:, None],
+                        cfg.dt,
+                    )
+            else:
+                cols = slice(a, v)
+                if type(policy) is StationaryObstacle:
+                    lin_cmd = np.zeros((n, v - a))
+                    ang_cmd = np.zeros((n, v - a))
+                else:
+                    lin_cmd = np.full((n, v - a), policy.speed)
+                    ang_cmd = self._lane_centering_steer(cols, policy.steer_gain)
+                self._apply_kinematics(cols, lin_cmd, ang_cmd, cfg.dt)
 
-        # --- Kinematics (mirrors Vehicle.apply_action elementwise; crashed
-        # vehicles are frozen exactly as the scalar early-return does).
-        alive = ~self._crashed
-        lin = np.clip(lin_cmd, 0.0, self._max_lin)
-        ang = np.clip(ang_cmd, -self._max_ang, self._max_ang)
-        heading = np.clip(
-            wrap_angle(self._heading + ang * cfg.dt),
-            -MAX_HEADING_ERROR,
-            MAX_HEADING_ERROR,
-        )
-        ds = lin * np.cos(heading) * cfg.dt
-        s = self._wrap(self._s + ds)
-        d = self._d + lin * np.sin(heading) * cfg.dt
-        self._lin = np.where(alive, lin, self._lin)
-        self._ang = np.where(alive, ang, self._ang)
-        self._heading = np.where(alive, heading, self._heading)
-        self._s = np.where(alive, s, self._s)
-        self._d = np.where(alive, d, self._d)
-        self._distance += np.where(alive, np.maximum(ds, 0.0), 0.0)
+        # --- Learning vehicles from `actions`, all at once.
+        self._apply_kinematics(slice(0, a), actions[:, :, 0], actions[:, :, 1], cfg.dt)
 
         # --- Collisions: pairwise disc tests across all vehicles per env.
         gap_s = self._signed_gap(self._s[:, :, None], self._s[:, None, :])
@@ -411,6 +457,68 @@ class VectorEnv:
             per_env_obs.append(obs)
             infos.append(step_info)
         return self._stack_obs(per_env_obs), rewards, dones, infos
+
+    # ------------------------------------------------------------------
+    # Vectorized kinematics and scripted-policy kernels
+    # ------------------------------------------------------------------
+    def _apply_kinematics(
+        self, cols: slice, lin_cmd: np.ndarray, ang_cmd: np.ndarray, dt: float
+    ) -> None:
+        """Mirror ``Vehicle.apply_action`` elementwise for the given columns
+        (crashed vehicles are frozen exactly as the scalar early-return does).
+        """
+        alive = ~self._crashed[:, cols]
+        lin = np.clip(lin_cmd, 0.0, self._max_lin[cols])
+        ang = np.clip(ang_cmd, -self._max_ang[cols], self._max_ang[cols])
+        heading = np.clip(
+            wrap_angle(self._heading[:, cols] + ang * dt),
+            -MAX_HEADING_ERROR,
+            MAX_HEADING_ERROR,
+        )
+        ds = lin * np.cos(heading) * dt
+        s = self._wrap(self._s[:, cols] + ds)
+        d = self._d[:, cols] + lin * np.sin(heading) * dt
+        self._lin[:, cols] = np.where(alive, lin, self._lin[:, cols])
+        self._ang[:, cols] = np.where(alive, ang, self._ang[:, cols])
+        self._heading[:, cols] = np.where(alive, heading, self._heading[:, cols])
+        self._s[:, cols] = np.where(alive, s, self._s[:, cols])
+        self._d[:, cols] = np.where(alive, d, self._d[:, cols])
+        self._distance[:, cols] += np.where(alive, np.maximum(ds, 0.0), 0.0)
+
+    def _lane_centering_steer(self, cols: slice, gain: float) -> np.ndarray:
+        """Vectorized lane-centering P-controller (traffic module's
+        ``_lane_centering_steer``) for the given columns."""
+        lane = self._lane_of(self._d[:, cols])
+        lateral_error = self._lane_center(lane) - self._d[:, cols]
+        command = gain * lateral_error - 1.5 * gain * self._heading[:, cols]
+        return np.clip(command, -0.3, 0.3)
+
+    def _cruiser_commands(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``LaneKeepingCruiser`` command for scripted vehicle
+        ``k``.
+
+        Reads the same state the scalar sequential update exposes: learning
+        vehicles pre-move, scripted vehicles ``j < k`` already moved.
+        """
+        policy: LaneKeepingCruiser = self._envs[0]._scripted_policy
+        col = self.num_agents + k
+        angular = self._lane_centering_steer(slice(col, col + 1), policy.steer_gain)
+
+        # Brake toward the nearest same-lane leader within safe_gap
+        # (sequential min over others == global min).
+        lane = self._lane_of(self._d[:, col])
+        gap = self._signed_gap(self._s[:, col, None], self._s)  # (n, v)
+        same_lane = self._lane_of(self._d) == lane[:, None]
+        mask = same_lane & (gap > 0.0) & (gap < policy.safe_gap)
+        mask[:, col] = False
+        blend = gap / policy.safe_gap
+        candidates = np.where(
+            mask,
+            blend * policy.target_speed + (1 - blend) * self._lin,
+            np.inf,
+        )
+        speed = np.minimum(policy.target_speed, candidates.min(axis=1))
+        return speed, angular[:, 0]
 
     # ------------------------------------------------------------------
     # Vectorized geometry (each expression mirrors the scalar code path)

@@ -14,9 +14,18 @@ from typing import Any
 
 import numpy as np
 
+from ..config import RewardConfig, ScenarioConfig
 from .base import MultiAgentEnv
 from .lane_change_env import CooperativeLaneChangeEnv
+from .sensors import feature_dim
 from .spaces import Box, Discrete
+from .vector_env import VectorEnv
+
+# The standard (linear, angular) command grid for value-based baselines;
+# shared by the scalar DiscreteActionWrapper and VectorBaselineEnv so the
+# two stacks index an identical action set.
+DEFAULT_LINEAR_LEVELS = (0.02, 0.08, 0.14)
+DEFAULT_ANGULAR_LEVELS = (-0.2, 0.0, 0.2)
 
 
 class FlattenObservationWrapper(MultiAgentEnv):
@@ -68,8 +77,8 @@ class DiscreteActionWrapper(MultiAgentEnv):
     def __init__(
         self,
         env: MultiAgentEnv,
-        linear_levels: tuple[float, ...] = (0.02, 0.08, 0.14),
-        angular_levels: tuple[float, ...] = (-0.2, 0.0, 0.2),
+        linear_levels: tuple[float, ...] = DEFAULT_LINEAR_LEVELS,
+        angular_levels: tuple[float, ...] = DEFAULT_ANGULAR_LEVELS,
     ):
         self.env = env
         self.agents = list(env.agents)
@@ -102,3 +111,100 @@ def make_baseline_env(
     flatten observations, discretise actions."""
     base = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
     return DiscreteActionWrapper(FlattenObservationWrapper(base))
+
+
+class VectorBaselineEnv:
+    """Vectorized counterpart of :func:`make_baseline_env`.
+
+    Wraps a :class:`~repro.envs.vector_env.VectorEnv` behind the baselines'
+    flat interface: observations come out as ``(num_envs, num_agents,
+    obs_dim)`` arrays with the same ``[lidar, speed, lane_onehot, features]``
+    layout as :class:`FlattenObservationWrapper`, and actions go in as
+    ``(num_envs, num_agents)`` integers indexing the same (linear, angular)
+    command grid as :class:`DiscreteActionWrapper`.
+    """
+
+    def __init__(
+        self,
+        vec_env: VectorEnv,
+        linear_levels: tuple[float, ...] = DEFAULT_LINEAR_LEVELS,
+        angular_levels: tuple[float, ...] = DEFAULT_ANGULAR_LEVELS,
+    ):
+        if vec_env.scenario.observation_mode != "features":
+            raise ValueError(
+                "VectorBaselineEnv requires observation_mode='features'"
+            )
+        self.vec_env = vec_env
+        self.num_envs = vec_env.num_envs
+        self.agents = list(vec_env.agents)
+        self.num_agents = len(self.agents)
+        self.scenario = vec_env.scenario
+        self.rewards = vec_env.rewards
+        self._action_table = np.array(
+            [pair for pair in product(linear_levels, angular_levels)]
+        )
+        self.obs_dim = vec_env.high_level_obs_dim + feature_dim(
+            vec_env.scenario.num_lanes
+        )
+
+    @property
+    def num_actions(self) -> int:
+        return len(self._action_table)
+
+    @property
+    def fast_path(self) -> bool:
+        return self.vec_env.fast_path
+
+    @property
+    def fallback_reason(self) -> str | None:
+        return self.vec_env.fallback_reason
+
+    @staticmethod
+    def flatten(obs: dict[str, np.ndarray]) -> np.ndarray:
+        """Stacked counterpart of :meth:`FlattenObservationWrapper.flatten`."""
+        return np.concatenate(
+            [obs["lidar"], obs["speed"], obs["lane_onehot"], obs["features"]],
+            axis=-1,
+        )
+
+    def reset(self, seeds=None) -> np.ndarray:
+        return self.flatten(self.vec_env.reset(seeds))
+
+    def reset_env(self, i: int, seed: int | None = None) -> np.ndarray:
+        """Seeded reset of one env; returns its ``(num_agents, obs_dim)`` rows."""
+        return self.flatten(self.vec_env.reset_env(i, seed=seed))
+
+    def step(self, actions: np.ndarray):
+        """Step with integer actions of shape ``(num_envs, num_agents)``.
+
+        Returns ``(obs, rewards, dones, infos)`` exactly like
+        :meth:`VectorEnv.step`, with flat observations and any
+        ``terminal_observation`` entries flattened the same way.
+        """
+        actions = np.asarray(actions, dtype=np.int64)
+        expected = (self.num_envs, self.num_agents)
+        if actions.shape != expected:
+            raise ValueError(
+                f"actions must have shape {expected}, got {actions.shape}"
+            )
+        if actions.min() < 0 or actions.max() >= self.num_actions:
+            raise ValueError(
+                f"actions must be in [0, {self.num_actions}), got "
+                f"[{actions.min()}, {actions.max()}]"
+            )
+        obs, rewards, dones, infos = self.vec_env.step(self._action_table[actions])
+        for info in infos:
+            if "terminal_observation" in info:
+                info["terminal_observation"] = self.flatten(
+                    info["terminal_observation"]
+                )
+        return self.flatten(obs), rewards, dones, infos
+
+
+def make_baseline_vector_env(
+    num_envs: int,
+    scenario: ScenarioConfig | None = None,
+    rewards: RewardConfig | None = None,
+) -> VectorBaselineEnv:
+    """Vectorized baseline env stack mirroring :func:`make_baseline_env`."""
+    return VectorBaselineEnv(VectorEnv(num_envs, scenario=scenario, rewards=rewards))

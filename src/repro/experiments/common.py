@@ -12,7 +12,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..baselines import evaluate_marl, make_baseline, train_marl
+from ..baselines import (
+    evaluate_marl,
+    make_baseline,
+    train_marl,
+    train_marl_vectorized,
+)
 from ..config import (
     PaperHyperparameters,
     RewardConfig,
@@ -21,7 +26,7 @@ from ..config import (
 )
 from ..core import HeroTeam, train_hero, train_low_level_skills
 from ..core.trainer import evaluate_hero
-from ..envs import CooperativeLaneChangeEnv, make_baseline_env
+from ..envs import CooperativeLaneChangeEnv, make_baseline_env, make_baseline_vector_env
 from ..utils.logging_utils import MetricLogger
 
 METHOD_NAMES = ["hero", "idqn", "coma", "maddpg", "maac"]
@@ -127,18 +132,38 @@ def train_baseline_method(
     episodes: int,
     seed: int,
     updates_per_episode: int = 1,
+    num_envs: int = 1,
     **baseline_kwargs,
 ) -> TrainedMethod:
+    """Train one end-to-end baseline.
+
+    ``num_envs > 1`` collects experience from that many vectorized env
+    copies through the algorithm's batched act/observe interface
+    (:func:`~repro.baselines.base.train_marl_vectorized`); ``num_envs == 1``
+    keeps the scalar loop (the two are metric-identical at one env).
+    """
     env = make_baseline_env(scenario=scenario, rewards=rewards)
     algo = make_baseline(name, env, seed=seed, **baseline_kwargs)
-    logger = train_marl(
-        env,
-        algo,
-        episodes=episodes,
-        seed=seed,
-        updates_per_episode=updates_per_episode,
-        epsilon_decay_episodes=max(episodes // 2, 1),
-    )
+    if num_envs > 1:
+        vec_env = make_baseline_vector_env(num_envs, scenario=scenario, rewards=rewards)
+        logger = train_marl_vectorized(
+            vec_env,
+            algo,
+            episodes=episodes,
+            seed=seed,
+            updates_per_episode=updates_per_episode,
+            epsilon_decay_episodes=max(episodes // 2, 1),
+            eval_env=env,
+        )
+    else:
+        logger = train_marl(
+            env,
+            algo,
+            episodes=episodes,
+            seed=seed,
+            updates_per_episode=updates_per_episode,
+            epsilon_decay_episodes=max(episodes // 2, 1),
+        )
 
     def evaluate(eval_env, episodes, eval_seed=0):
         return evaluate_marl(eval_env, algo, episodes, seed=eval_seed)
@@ -159,8 +184,8 @@ def train_all_methods(
     ``scale=1.0`` reproduces the paper's full 14,000-episode budget;
     benchmark defaults use a small fraction so the suite finishes in
     minutes (documented in EXPERIMENTS.md).  ``num_envs > 1`` collects
-    HERO's rollouts from that many vectorized env copies (the baselines'
-    training loops are still scalar).
+    every method's rollouts — HERO's and the four baselines' — from that
+    many vectorized env copies with batched policy inference.
     """
     methods = methods or METHOD_NAMES
     scenario = scenario or bench_scenario()
@@ -181,6 +206,8 @@ def train_all_methods(
                 scenario, rewards, episodes, skill_episodes, seed, num_envs=num_envs
             )
         else:
-            trained = train_baseline_method(name, scenario, rewards, episodes, seed)
+            trained = train_baseline_method(
+                name, scenario, rewards, episodes, seed, num_envs=num_envs
+            )
         result.methods[name] = trained
     return result

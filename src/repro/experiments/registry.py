@@ -68,8 +68,9 @@ def run_experiment(
 ) -> dict:
     """Run one experiment end to end and print its report.
 
-    ``num_envs > 1`` collects HERO's training rollouts from that many
-    vectorized environment copies (see ``repro.envs.vector_env``).
+    ``num_envs > 1`` collects every method's training rollouts — HERO's
+    and the four baselines' — from that many vectorized environment copies
+    (see ``repro.envs.vector_env``).
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")

@@ -19,6 +19,35 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def _ring_append_slots(index: int, capacity: int, count: int) -> tuple[int, np.ndarray]:
+    """Ring-buffer slots hit by appending ``count`` items at ``index``.
+
+    Returns ``(drop, idx)``: sequential pushes of more items than
+    ``capacity`` leave only the trailing window in the buffer, so the
+    first ``drop`` items never land and the remaining ones go to the
+    ``idx`` slots in order — exactly the state ``count`` one-at-a-time
+    pushes would produce.
+    """
+    drop = max(count - capacity, 0)
+    start = (index + drop) % capacity
+    idx = (start + np.arange(min(count, capacity))) % capacity
+    return drop, idx
+
+
+def _ring_append_transitions(buffer, obs, actions, rewards, next_obs, dones, count):
+    """Batched append of ``count`` transitions into a ring buffer exposing
+    ``obs/actions/rewards/next_obs/dones`` arrays; equivalent to ``count``
+    sequential ``push`` calls (shared by the flat and joint buffers)."""
+    drop, idx = _ring_append_slots(buffer._index, buffer.capacity, count)
+    buffer.obs[idx] = obs[drop:]
+    buffer.actions[idx] = actions[drop:]
+    buffer.rewards[idx] = rewards[drop:]
+    buffer.next_obs[idx] = next_obs[drop:]
+    buffer.dones[idx] = np.asarray(dones[drop:], dtype=np.float64)
+    buffer._index = (buffer._index + count) % buffer.capacity
+    buffer._size = min(buffer._size + count, buffer.capacity)
+
+
 class ReplayBuffer:
     """Uniform ring buffer over (obs, action, reward, next_obs, done).
 
@@ -60,6 +89,13 @@ class ReplayBuffer:
         self._index = (i + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
 
+    def push_batch(self, obs, actions, rewards, next_obs, dones) -> None:
+        """Append a batch of transitions (row ``i`` of every argument is one
+        transition); equivalent to sequential :meth:`push` calls."""
+        _ring_append_transitions(
+            self, obs, actions, rewards, next_obs, dones, len(rewards)
+        )
+
     def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
         if self._size == 0:
             raise ValueError("cannot sample from an empty buffer")
@@ -98,6 +134,11 @@ class PrioritizedReplayBuffer(ReplayBuffer):
     def push(self, obs, action, reward, next_obs, done) -> None:
         self._priorities[self._index] = self._max_priority
         super().push(obs, action, reward, next_obs, done)
+
+    def push_batch(self, obs, actions, rewards, next_obs, dones) -> None:
+        _, idx = _ring_append_slots(self._index, self.capacity, len(rewards))
+        self._priorities[idx] = self._max_priority
+        super().push_batch(obs, actions, rewards, next_obs, dones)
 
     def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
         if self._size == 0:
@@ -214,6 +255,13 @@ class JointReplayBuffer:
         self.dones[i] = float(done)
         self._index = (i + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
+
+    def push_batch(self, obs, actions, rewards, next_obs, dones) -> None:
+        """Append a batch of joint transitions (row ``i`` of every argument
+        is one step); equivalent to sequential :meth:`push` calls."""
+        _ring_append_transitions(
+            self, obs, actions, rewards, next_obs, dones, len(dones)
+        )
 
     def sample(self, batch_size: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
         if self._size == 0:

@@ -29,6 +29,22 @@ def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 
+def episode_reset_seeds(seed: int, episodes: int) -> np.ndarray:
+    """Per-episode environment reset seeds, derived by ``SeedSequence.spawn``.
+
+    Seed ``e`` is a pure function of ``(seed, e)`` — unlike drawing from a
+    sequential generator stream, a training loop that runs episodes out of
+    order (vectorized rollouts finishing at different times) reproduces the
+    exact same reset seed for episode ``e`` as the scalar loop does.
+    """
+    if episodes < 0:
+        raise ValueError(f"episodes must be non-negative, got {episodes}")
+    children = np.random.SeedSequence(seed).spawn(episodes)
+    return np.array(
+        [int(child.generate_state(1)[0]) for child in children], dtype=np.int64
+    )
+
+
 def child_rng(rng: np.random.Generator, salt: int = 0) -> np.random.Generator:
     """Fork a fresh generator from an existing one (for lazily-built parts)."""
     seed = int(rng.integers(0, 2**63 - 1)) ^ (salt * 0x9E3779B97F4A7C15 % 2**63)

@@ -239,7 +239,11 @@ class TestTrainHeroVectorized:
     def test_custom_scripted_policy_is_replicated(self, monkeypatch):
         """The caller's traffic must reach the vectorized envs (via the
         scalar fallback), not be swapped for the default SlowLeader."""
-        from repro.envs import StationaryObstacle
+        from repro.envs import ScriptedPolicy
+
+        class CustomPolicy(ScriptedPolicy):
+            def act(self, vehicle, others):
+                return 0.0, 0.0
 
         import repro.core.trainer as trainer_module
 
@@ -254,7 +258,7 @@ class TestTrainHeroVectorized:
         monkeypatch.setattr(trainer_module, "VectorEnv", recording_vector_env)
         config = TrainingConfig(seed=0)
         config.scenario = small_scenario()
-        policy = StationaryObstacle()
+        policy = CustomPolicy()
         env = CooperativeLaneChangeEnv(
             scenario=config.scenario, scripted_policy=policy
         )

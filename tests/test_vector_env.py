@@ -16,7 +16,13 @@ import numpy as np
 import pytest
 
 from repro.config import ScenarioConfig
-from repro.envs import CooperativeLaneChangeEnv, StationaryObstacle, VectorEnv
+from repro.envs import (
+    CooperativeLaneChangeEnv,
+    LaneKeepingCruiser,
+    ScriptedPolicy,
+    StationaryObstacle,
+    VectorEnv,
+)
 
 
 def random_actions(rng, num_envs, num_agents):
@@ -143,14 +149,88 @@ class TestScalarAgreement:
             assert vec.lane_deviation[0, k] == vehicle.lane_deviation
 
 
+class TestScriptedPolicyKernels:
+    """Fast-path eligibility + bitwise parity for the vectorized scripted
+    controllers (SlowLeader is covered by TestScalarAgreement)."""
+
+    @pytest.mark.parametrize(
+        "make_policy",
+        [
+            lambda: LaneKeepingCruiser(),
+            lambda: LaneKeepingCruiser(target_speed=0.05, safe_gap=1.2),
+            lambda: StationaryObstacle(),
+        ],
+        ids=["cruiser", "cruiser-tuned", "obstacle"],
+    )
+    @pytest.mark.parametrize("num_scripted", [1, 2])
+    def test_bitwise_agreement(self, make_policy, num_scripted):
+        scenario = ScenarioConfig(num_scripted_vehicles=num_scripted)
+        vec = VectorEnv(
+            2,
+            env_fns=[
+                lambda: CooperativeLaneChangeEnv(
+                    scenario=scenario, scripted_policy=make_policy()
+                )
+                for _ in range(2)
+            ],
+        )
+        assert vec.fast_path, vec.fallback_reason
+        scalars = [
+            CooperativeLaneChangeEnv(scenario=scenario, scripted_policy=make_policy())
+            for _ in range(2)
+        ]
+        scalar_obs = [env.reset(seed=60 + i) for i, env in enumerate(scalars)]
+        vec_obs = vec.reset([60, 61])
+        for i in range(2):
+            assert_obs_rows_equal(vec_obs, scalar_obs[i], i, vec.agents)
+        rng = np.random.default_rng(6)
+        for _ in range(70):  # crosses episode boundaries -> autoreset
+            actions = random_actions(rng, 2, vec.num_agents)
+            vec_obs, vec_rewards, vec_dones, vec_infos = vec.step(actions)
+            for i, env in enumerate(scalars):
+                obs, rewards, dones, info = env.step(
+                    {a: actions[i, k] for k, a in enumerate(env.agents)}
+                )
+                assert rewards[env.agents[0]] == vec_rewards[i]
+                assert dones["__all__"] == vec_dones[i]
+                if dones["__all__"]:
+                    summary = info.get("episode", env.episode_summary())
+                    assert vec_infos[i]["episode"] == summary
+                    obs = env.reset()
+                assert_obs_rows_equal(vec_obs, obs, i, vec.agents)
+
+    def test_mismatched_policy_params_fall_back(self):
+        cruisers = iter([LaneKeepingCruiser(), LaneKeepingCruiser(safe_gap=2.0)])
+        vec = VectorEnv(
+            2,
+            env_fns=[
+                lambda: CooperativeLaneChangeEnv(scripted_policy=next(cruisers))
+                for _ in range(2)
+            ],
+        )
+        assert not vec.fast_path
+        assert "scripted policy parameters" in vec.fallback_reason
+
+    def test_fast_path_reports_no_reason(self):
+        assert VectorEnv(2).fallback_reason is None
+
+
+class _UnvectorizedPolicy(ScriptedPolicy):
+    """A scripted controller the fast path has no kernel for."""
+
+    def act(self, vehicle, others):
+        return 0.01, 0.0
+
+
 class TestFallback:
     def test_custom_scripted_policy_uses_fallback(self):
         env_fns = [
-            lambda: CooperativeLaneChangeEnv(scripted_policy=StationaryObstacle())
+            lambda: CooperativeLaneChangeEnv(scripted_policy=_UnvectorizedPolicy())
             for _ in range(2)
         ]
         vec = VectorEnv(2, env_fns=env_fns)
         assert not vec.fast_path
+        assert "no vectorized kernel" in vec.fallback_reason
 
     def test_image_mode_uses_fallback(self):
         scenario = ScenarioConfig(observation_mode="image")
@@ -176,6 +256,38 @@ class TestFallback:
             if dones["__all__"]:
                 obs = scalar.reset()
             assert_obs_rows_equal(vec_obs, obs, 0, vec.agents)
+
+
+class TestResetEnv:
+    def test_seeded_single_env_reset_matches_scalar(self):
+        vec = VectorEnv(3)
+        vec.reset([1, 2, 3])
+        scalar = CooperativeLaneChangeEnv()
+        expected = scalar.reset(seed=42)
+        row = vec.reset_env(1, seed=42)
+        for k, agent in enumerate(scalar.agents):
+            for key, value in expected[agent].items():
+                np.testing.assert_array_equal(row[key][k], value)
+
+    def test_reset_env_updates_stacked_state(self):
+        vec = VectorEnv(2)
+        vec.reset([1, 2])
+        rng = np.random.default_rng(0)
+        vec.step(random_actions(rng, 2, vec.num_agents))
+        vec.reset_env(0, seed=9)
+        scalar = CooperativeLaneChangeEnv()
+        scalar.reset(seed=9)
+        actions = random_actions(rng, 2, vec.num_agents)
+        vec_obs, _, _, _ = vec.step(actions)
+        obs, _, _, _ = scalar.step(
+            {a: actions[0, k] for k, a in enumerate(scalar.agents)}
+        )
+        assert_obs_rows_equal(vec_obs, obs, 0, vec.agents)
+
+    def test_out_of_range_index_rejected(self):
+        vec = VectorEnv(2)
+        with pytest.raises(IndexError):
+            vec.reset_env(2)
 
 
 class TestSyncToEnvs:
