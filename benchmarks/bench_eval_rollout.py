@@ -1,0 +1,125 @@
+"""Vectorized greedy-evaluation throughput: batched eval vs scalar.
+
+Not a paper table — this is the scaling guard for the evaluation hot path
+added by ISSUE 3.  Interleaved greedy evaluations dominate short vectorized
+training runs when they step one scalar env at a time; the contract is that
+at ``N = 8`` evaluation envs, ``evaluate_hero_vectorized`` completes the
+same evaluation-episode budget **at least 3x** faster than the scalar
+``evaluate_hero`` (both run the identical seed stream, so they score the
+same episodes).
+
+``test_eval_rollout_speedup`` measures and asserts the ratio; the
+``benchmark``-fixture test records the per-cycle cost of one greedy batched
+act/step cycle that feeds the CI perf gate
+(``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.config import ScenarioConfig, TrainingConfig
+from repro.core import BatchedHeroRunner, HeroTeam, train_hero
+from repro.core.trainer import evaluate_hero, evaluate_hero_vectorized
+from repro.envs import CooperativeLaneChangeEnv, VectorEnv
+
+N_ENVS = 8
+TARGET_SPEEDUP = 3.0
+EVAL_EPISODES = int(os.environ.get("REPRO_BENCH_EVAL_EPISODES", "24"))
+
+
+def _make_team(scenario: ScenarioConfig) -> tuple[CooperativeLaneChangeEnv, HeroTeam]:
+    """A lightly-trained team so greedy eval exercises realistic options."""
+    config = TrainingConfig(seed=0)
+    config.scenario = scenario
+    env = CooperativeLaneChangeEnv(scenario=scenario)
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=8)
+    train_hero(env, team, episodes=2, config=config, eval_every=0)
+    return env, team
+
+
+def _scalar_eval_seconds(env, team, episodes: int) -> float:
+    start = time.perf_counter()
+    evaluate_hero(env, team, episodes=episodes, seed=0)
+    return time.perf_counter() - start
+
+
+def _vector_eval_seconds(vec_env, team, runner, episodes: int) -> float:
+    start = time.perf_counter()
+    evaluate_hero_vectorized(vec_env, team, episodes=episodes, seed=0, runner=runner)
+    return time.perf_counter() - start
+
+
+def test_eval_rollout_speedup():
+    """The ISSUE 3 acceptance check: >= 3x at N = 8.
+
+    On shared CI runners wall-clock ratios are noisy, so under ``CI`` the
+    measurement is report-only (absolute regressions are caught by the
+    perf-gate job, which compares single-machine means); locally the ratio
+    is a hard assertion.
+    """
+    scenario = ScenarioConfig(episode_length=30)
+    env, team = _make_team(scenario)
+    vec_env = VectorEnv(N_ENVS, scenario=scenario)
+    runner = BatchedHeroRunner(team, vec_env)
+
+    # Warm up caches/allocators, then take the best of three measurements
+    # of each path so a background scheduling hiccup cannot fail the gate.
+    _scalar_eval_seconds(env, team, 2)
+    _vector_eval_seconds(vec_env, team, runner, 2)
+    scalar = min(_scalar_eval_seconds(env, team, EVAL_EPISODES) for _ in range(3))
+    vector = min(
+        _vector_eval_seconds(vec_env, team, runner, EVAL_EPISODES) for _ in range(3)
+    )
+    speedup = scalar / vector
+    print(
+        f"\nscalar eval: {EVAL_EPISODES / scalar:.1f} episodes/s | "
+        f"vector(N={N_ENVS}): {EVAL_EPISODES / vector:.1f} episodes/s | "
+        f"{speedup:.1f}x"
+    )
+    if os.environ.get("CI"):
+        if speedup < TARGET_SPEEDUP:
+            print(
+                f"WARNING: {speedup:.2f}x below the {TARGET_SPEEDUP}x target "
+                "(report-only on shared CI runners)"
+            )
+        return
+    assert speedup >= TARGET_SPEEDUP, (
+        f"vectorized greedy eval only {speedup:.2f}x over scalar "
+        f"(need >= {TARGET_SPEEDUP}x): {vector:.3f}s vs {scalar:.3f}s "
+        f"for {EVAL_EPISODES} episodes"
+    )
+
+
+def test_eval_vector_cycle(benchmark):
+    """One greedy batched act/step cycle (N=8) for the perf gate."""
+    scenario = ScenarioConfig(episode_length=30)
+    _, team = _make_team(scenario)
+    vec_env = VectorEnv(N_ENVS, scenario=scenario)
+    runner = BatchedHeroRunner(team, vec_env)
+    state = {"obs": vec_env.reset(0)}
+
+    def cycle():
+        actions = runner.act(state["obs"], epsilon=0.0, explore=False)
+        obs, _, dones, _ = vec_env.step(actions)
+        for i in np.flatnonzero(dones):
+            runner.start_episode(i)
+        state["obs"] = obs
+
+    benchmark(cycle)
+
+
+def test_vectorized_eval_matches_scalar_sample():
+    """Cheap cross-check that the batched greedy path is live and agrees
+    with the scalar evaluator at one env (the full equivalence matrix
+    lives in tests/test_eval_vectorized.py)."""
+    scenario = ScenarioConfig(episode_length=10)
+    env, team = _make_team(scenario)
+    scalar = evaluate_hero(env, team, episodes=2, seed=5)
+    vectorized = evaluate_hero_vectorized(
+        VectorEnv(1, scenario=scenario), team, episodes=2, seed=5
+    )
+    assert scalar == vectorized

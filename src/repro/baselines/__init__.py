@@ -1,6 +1,12 @@
 """End-to-end MARL baselines from the paper's evaluation (Sec. V-A)."""
 
-from .base import MARLAlgorithm, evaluate_marl, train_marl, train_marl_vectorized
+from .base import (
+    MARLAlgorithm,
+    evaluate_marl,
+    evaluate_marl_vectorized,
+    train_marl,
+    train_marl_vectorized,
+)
 from .coma import COMA
 from .idqn import IndependentDQN
 from .maac import MAAC, AttentionCritic
@@ -16,6 +22,7 @@ __all__ = [
     "MADDPG",
     "MARLAlgorithm",
     "evaluate_marl",
+    "evaluate_marl_vectorized",
     "make_baseline",
     "train_marl",
     "train_marl_vectorized",

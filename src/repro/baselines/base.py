@@ -12,7 +12,7 @@ import warnings
 
 import numpy as np
 
-from ..utils.logging_utils import MetricLogger
+from ..utils.logging_utils import MetricLogger, summarise_eval_episodes
 from ..utils.schedule import LinearSchedule
 from ..utils.seeding import episode_reset_seeds
 
@@ -210,7 +210,7 @@ def train_marl_vectorized(
     metric_prefix: str | None = None,
     eval_every: int | None = None,
     eval_episodes: int = 3,
-    eval_env=None,
+    eval_num_envs: int | None = None,
 ) -> MetricLogger:
     """:func:`train_marl` with the rollout phase on a ``VectorBaselineEnv``.
 
@@ -225,9 +225,11 @@ def train_marl_vectorized(
     envs keep feeding the replay buffers until their last counted episode
     finishes.
 
-    ``eval_env`` is the scalar env used for the interleaved greedy
-    evaluations (the vectorized env cannot run :func:`evaluate_marl`);
-    by default one is built from the vector env's scenario/reward configs.
+    The interleaved greedy evaluations run on a dedicated evaluation
+    ``VectorBaselineEnv`` (the training one holds live mid-episode state)
+    through :func:`evaluate_marl_vectorized`, over ``eval_num_envs`` env
+    copies — default: the training batch size capped at ``eval_episodes``
+    (extra envs would roll out episodes that are never scored).
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
@@ -236,11 +238,14 @@ def train_marl_vectorized(
     )
     if eval_every is None:
         eval_every = max(episodes // 40, 1)
-    if eval_env is None:
-        from ..envs.wrappers import make_baseline_env
+    eval_vec_env = None
+    if eval_every:
+        from ..envs.wrappers import make_baseline_vector_env
 
-        eval_env = make_baseline_env(
-            scenario=vec_env.scenario, rewards=vec_env.rewards
+        if eval_num_envs is None:
+            eval_num_envs = max(min(vec_env.num_envs, eval_episodes), 1)
+        eval_vec_env = make_baseline_vector_env(
+            eval_num_envs, scenario=vec_env.scenario, rewards=vec_env.rewards
         )
     if not vec_env.fast_path:
         warnings.warn(
@@ -303,8 +308,8 @@ def train_marl_vectorized(
                 if eval_every and (
                     episode % eval_every == 0 or episode == episodes - 1
                 ):
-                    eval_metrics = evaluate_marl(
-                        eval_env,
+                    eval_metrics = evaluate_marl_vectorized(
+                        eval_vec_env,
                         algorithm,
                         episodes=eval_episodes,
                         seed=seed + 500 + episode,
@@ -343,11 +348,18 @@ def train_marl_vectorized(
 def evaluate_marl(
     env, algorithm: MARLAlgorithm, episodes: int, seed: int = 0
 ) -> dict[str, float]:
-    """Greedy evaluation with the paper's Table II metrics."""
-    rng = np.random.default_rng(seed)
+    """Greedy evaluation with the paper's Table II metrics.
+
+    Episode reset seeds come from one ``SeedSequence`` spawn
+    (:func:`repro.utils.seeding.episode_reset_seeds`), so evaluation
+    episode ``e`` is a pure function of ``(seed, e)`` and
+    :func:`evaluate_marl_vectorized` — which finishes episodes out of
+    order — can replay the identical seed stream.
+    """
+    reset_seeds = episode_reset_seeds(seed, episodes)
     rewards, collisions, successes, speeds = [], [], [], []
-    for _ in range(episodes):
-        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+    for episode in range(episodes):
+        obs = env.reset(seed=int(reset_seeds[episode]))
         done = False
         info: dict = {}
         while not done:
@@ -359,9 +371,55 @@ def evaluate_marl(
         collisions.append(summary["collision"])
         successes.append(summary["merge_success_rate"])
         speeds.append(summary["mean_speed"])
-    return {
-        "episode_reward": float(np.mean(rewards)),
-        "collision_rate": float(np.mean(collisions)),
-        "success_rate": float(np.mean(successes)),
-        "mean_speed": float(np.mean(speeds)),
-    }
+    return summarise_eval_episodes(rewards, collisions, successes, speeds)
+
+
+def evaluate_marl_vectorized(
+    vec_env, algorithm: MARLAlgorithm, episodes: int, seed: int = 0
+) -> dict[str, float]:
+    """Greedy evaluation over a ``VectorBaselineEnv``.
+
+    Steps the env batch with ``algorithm.act_batch(..., explore=False)``
+    (no exploration RNG, no replay-buffer writes, no ``end_episode``
+    consumption — identical side-effect profile to the scalar
+    :func:`evaluate_marl`).  Per-env episode accounting scores exactly
+    ``episodes`` completed episodes: env ``i`` always runs a specific
+    evaluation-episode index whose reset seed comes from the same
+    ``SeedSequence`` spawn as the scalar evaluator's, and summaries are
+    accumulated by episode index so the means aggregate the identical
+    episode set in the identical order.  At ``num_envs=1`` the result is
+    **bit-for-bit** equal to :func:`evaluate_marl`; at larger batches the
+    only difference is last-ulp float noise from batched network forwards,
+    so results are statistically identical.
+    """
+    reset_seeds = episode_reset_seeds(seed, episodes)
+    n = vec_env.num_envs
+    # Envs beyond the episode budget run unseeded and are never scored.
+    obs = vec_env.reset(
+        [int(reset_seeds[i]) if i < episodes else None for i in range(n)]
+    )
+
+    episode_of_env = np.arange(n)
+    next_to_start = n
+    rewards = np.zeros(episodes)
+    collisions = np.zeros(episodes)
+    successes = np.zeros(episodes)
+    speeds = np.zeros(episodes)
+    remaining = episodes
+    while remaining:
+        actions = algorithm.act_batch(obs, explore=False)
+        obs, _, dones, infos = vec_env.step(actions)
+        for i in np.flatnonzero(dones):
+            episode = int(episode_of_env[i])
+            if episode < episodes:
+                summary = infos[i]["episode"]
+                rewards[episode] = summary["episode_reward"]
+                collisions[episode] = summary["collision"]
+                successes[episode] = summary["merge_success_rate"]
+                speeds[episode] = summary["mean_speed"]
+                remaining -= 1
+            episode_of_env[i] = next_to_start
+            if next_to_start < episodes:
+                obs[i] = vec_env.reset_env(i, seed=int(reset_seeds[next_to_start]))
+            next_to_start += 1
+    return summarise_eval_episodes(rewards, collisions, successes, speeds)

@@ -98,9 +98,12 @@ class IndependentDQN(MARLAlgorithm):
         env reproduces the scalar loop bit-for-bit.
         """
         num_envs = len(observations)
-        epsilon = np.broadcast_to(
-            np.asarray(self.epsilon, dtype=np.float64), (num_envs,)
-        )
+        if explore:
+            # Greedy evaluation must not read self.epsilon: it may hold a
+            # per-env array sized for a different (training) batch.
+            epsilon = np.broadcast_to(
+                np.asarray(self.epsilon, dtype=np.float64), (num_envs,)
+            )
         actions = np.empty((num_envs, self.num_agents), dtype=np.int64)
         for k, agent in enumerate(self.agent_ids):
             if explore:

@@ -95,7 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-envs",
         type=_positive_int,
         default=1,
-        help="vectorized env copies for HERO and baseline training (1 = scalar loop)",
+        help=(
+            "vectorized env copies for training AND the interleaved greedy "
+            "evaluations, for HERO and all four baselines (1 = scalar loops)"
+        ),
     )
     run.set_defaults(func=_cmd_run)
 
@@ -106,7 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-envs",
         type=_positive_int,
         default=1,
-        help="vectorized env copies for HERO and baseline training (1 = scalar loop)",
+        help=(
+            "vectorized env copies for training AND the interleaved greedy "
+            "evaluations, for HERO and all four baselines (1 = scalar loops)"
+        ),
     )
     run_all.set_defaults(func=_cmd_run_all)
 

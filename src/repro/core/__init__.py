@@ -23,6 +23,7 @@ from .options import (
 from .trainer import (
     BatchedRolloutWorker,
     evaluate_hero,
+    evaluate_hero_vectorized,
     train_hero,
     train_low_level_skills,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "SLOW_DOWN",
     "SkillLibrary",
     "evaluate_hero",
+    "evaluate_hero_vectorized",
     "train_hero",
     "train_low_level_skills",
     "train_skill",

@@ -6,12 +6,20 @@ across the ``N`` environments of a
 Python per agent per env, the runner flattens everything into stacked
 arrays:
 
-* low-level skill execution is a single ``(N * agents, obs_dim)`` forward
-  pass per shared skill network,
+* low-level skill execution runs one ``(N, obs_dim)`` forward pass per
+  (agent, skill) pair — batched over environments, with the per-agent
+  grouping chosen so that at ``N == 1`` every network call has exactly the
+  scalar path's input shape (BLAS matmuls are not row-wise bit-stable
+  across batch sizes, so shape-identical calls are what makes greedy
+  evaluation bit-for-bit reproducible against the scalar team),
 * high-level option selection batches, per agent, every environment whose
   option just terminated through one actor forward,
 * opponent intention inference goes through the opponent model's batched
-  ``predict_probs_batch`` instead of per-env single-row calls.
+  ``predict_probs_batch`` instead of per-env single-row calls,
+* steering controllers read the exact vehicle pose from
+  :attr:`VectorEnv.agent_d` / :attr:`VectorEnv.agent_heading` instead of
+  un-normalising the feature vector (bit-identical to the scalar
+  controllers, which read ``vehicle.state`` directly).
 
 Semantics match the scalar :class:`~repro.core.hero.HeroAgent` option
 machinery (asynchronous termination, SMDP transition accounting, the
@@ -19,6 +27,13 @@ keep-lane coast rule) with one documented difference: option selections
 within a step see the *pre-step* options of the other agents, whereas the
 scalar team's sequential loop lets later agents observe earlier agents'
 same-step re-selections.
+
+Greedy evaluation (:func:`repro.core.trainer.evaluate_hero_vectorized`)
+drives :meth:`BatchedHeroRunner.act` with ``explore=False`` and **never
+calls** :meth:`BatchedHeroRunner.after_step` — mirroring the scalar
+evaluator, which selects one option per agent at episode start and runs
+its skill to the end of the episode without storing transitions or
+feeding opponent-model histories.
 """
 
 from __future__ import annotations
@@ -103,6 +118,7 @@ class BatchedHeroRunner:
         self._pending_obs = np.zeros((n, a, obs_dim))
         self._pending_other = np.zeros((n, a, max(self.num_opponents, 1)), np.int64)
         self._observed_other = np.zeros((n, a, max(self.num_opponents, 1)), np.int64)
+        self.sync_observed_options()
         self._last_action = np.zeros((n, a, 2))
         self.lane_change_attempts = np.zeros(n, dtype=np.int64)
         self.lane_change_successes = np.zeros(n, dtype=np.int64)
@@ -114,6 +130,24 @@ class BatchedHeroRunner:
     def start_all(self) -> None:
         for i in range(self.num_envs):
             self.start_episode(i)
+
+    def sync_observed_options(self) -> None:
+        """Pull each agent's last-observed opponent options from the team.
+
+        ``opponent_mode='observed'`` actors condition on
+        ``HighLevelAgent._last_observed_options``, which rollouts update as
+        episodes run.  A runner built mid-training (e.g. a fresh evaluation
+        runner) starts from zeroed state; broadcasting the team's current
+        values into every env row makes its first option selection match
+        what the scalar path would have chosen.  Called at construction and
+        by :func:`repro.core.trainer.evaluate_hero_vectorized` before each
+        evaluation sweep.
+        """
+        if not self.num_opponents:
+            return
+        for k, agent_id in enumerate(self.agents):
+            hl = self.team.agents[agent_id].high_level
+            self._observed_other[:, k] = hl._last_observed_options
 
     def start_episode(self, i: int) -> None:
         """Reset per-env execution state (mirrors HeroAgent.start_episode)."""
@@ -231,7 +265,6 @@ class BatchedHeroRunner:
         self, obs: dict[str, np.ndarray], lane: np.ndarray, explore: bool
     ) -> np.ndarray:
         n, a = self.num_envs, self.num_agents
-        track = self._track
         merge_direction = np.where(
             self._option == LANE_CHANGE,
             np.sign(self._target_lane - self._start_lane).astype(np.float64),
@@ -245,53 +278,70 @@ class BatchedHeroRunner:
                 merge_direction[..., None],
             ],
             axis=-1,
-        ).reshape(n * a, -1)
+        )  # (n, a, obs_dim)
 
-        # Recover pose from the feature vector (feature 0 is the signed lane
-        # deviation normalised by lane width, feature 1 the heading error).
-        deviation = obs["features"][..., 0].reshape(-1) * track.lane_width
-        heading = obs["features"][..., 1].reshape(-1)
-        lane_flat = lane.reshape(-1)
-        d = deviation + self._lane_centers[lane_flat]
+        # Exact vehicle pose: the scalar controllers read vehicle.state
+        # directly, so read the same doubles from the stacked state instead
+        # of un-normalising the feature vector (which rounds).
+        d = self.vec_env.agent_d
+        heading = self.vec_env.agent_heading
 
-        option_flat = self._option.reshape(-1)
-        actions = np.zeros((n * a, 2))
+        actions = np.zeros((n, a, 2))
+        # One (n_rows, obs_dim) forward per (agent, skill) pair.  Grouping
+        # by agent column — not one flattened (n*a, obs_dim) batch — keeps
+        # every network call shape-identical to the scalar loop's at
+        # num_envs == 1 (per-agent (1, obs_dim) forwards in agent order),
+        # which is what makes greedy evaluation bit-for-bit reproducible;
+        # BLAS matmuls do not guarantee row-wise equality across batch
+        # sizes.
+        for k in range(a):
+            option_k = self._option[:, k]
 
-        # Keep-lane: coast at the previous linear speed with lane-centering
-        # steering (HeroAgent's fallback when the skill returns None).
-        keep = np.flatnonzero(option_flat == KEEP_LANE)
-        if keep.size:
-            lateral_error = self._lane_centers[lane_flat[keep]] - d[keep]
-            angular = 0.8 * lateral_error - 1.5 * 0.8 * heading[keep]
-            actions[keep, 0] = self._last_action.reshape(-1, 2)[keep, 0]
-            actions[keep, 1] = np.clip(angular, -0.1, 0.1)
+            # Keep-lane: coast at the previous linear speed with
+            # lane-centering steering (HeroAgent's fallback when the skill
+            # returns None; repro.envs.control.lane_keep_command).
+            keep = np.flatnonzero(option_k == KEEP_LANE)
+            if keep.size:
+                lateral_error = self._lane_centers[lane[keep, k]] - d[keep, k]
+                angular = 0.8 * lateral_error - 1.5 * 0.8 * heading[keep, k]
+                actions[keep, k, 0] = self._last_action[keep, k, 0]
+                actions[keep, k, 1] = np.clip(angular, -0.1, 0.1)
 
-        # Driving-in-lane skill executes slow-down and accelerate (shared
-        # network, per-option bounds).
-        driving = np.flatnonzero((option_flat != KEEP_LANE) & (option_flat != LANE_CHANGE))
-        if driving.size:
-            raw = self._skill_forward(self.team.skills.driving_in_lane, obs_low[driving], explore)
-            for option_index in np.unique(option_flat[driving]):
-                rows = driving[option_flat[driving] == option_index]
-                bounds = self.option_set[int(option_index)].bounds
-                actions[rows] = self._clip_bounds(raw[option_flat[driving] == option_index], bounds)
-
-        changing = np.flatnonzero(option_flat == LANE_CHANGE)
-        if changing.size:
-            raw = self._skill_forward(self.team.skills.lane_change, obs_low[changing], explore)
-            bounded = self._clip_bounds(raw, self.option_set[LANE_CHANGE].bounds)
-            # Steering sign from the merge-direction controller
-            # (repro.envs.control.lane_change_steer_sign, vectorized).
-            target_d = self._lane_centers[self._target_lane.reshape(-1)[changing]]
-            desired = np.clip(
-                HEADING_GAIN * (target_d - d[changing]), -HEADING_CAP, HEADING_CAP
+            # Driving-in-lane skill executes slow-down and accelerate
+            # (shared network, per-option bounds).
+            driving = np.flatnonzero(
+                (option_k != KEEP_LANE) & (option_k != LANE_CHANGE)
             )
-            heading_error = desired - heading[changing]
-            sign = np.where(np.abs(heading_error) <= 1e-6, 0.0, np.sign(heading_error))
-            actions[changing, 0] = bounded[:, 0]
-            actions[changing, 1] = sign * np.abs(bounded[:, 1])
+            if driving.size:
+                raw = self._skill_forward(
+                    self.team.skills.driving_in_lane, obs_low[driving, k], explore
+                )
+                for option_index in np.unique(option_k[driving]):
+                    rows = option_k[driving] == option_index
+                    bounds = self.option_set[int(option_index)].bounds
+                    actions[driving[rows], k] = self._clip_bounds(raw[rows], bounds)
 
-        actions = actions.reshape(n, a, 2)
+            changing = np.flatnonzero(option_k == LANE_CHANGE)
+            if changing.size:
+                raw = self._skill_forward(
+                    self.team.skills.lane_change, obs_low[changing, k], explore
+                )
+                bounded = self._clip_bounds(raw, self.option_set[LANE_CHANGE].bounds)
+                # Steering sign from the merge-direction controller
+                # (repro.envs.control.lane_change_steer_sign, vectorized).
+                target_d = self._lane_centers[self._target_lane[changing, k]]
+                desired = np.clip(
+                    HEADING_GAIN * (target_d - d[changing, k]),
+                    -HEADING_CAP,
+                    HEADING_CAP,
+                )
+                heading_error = desired - heading[changing, k]
+                sign = np.where(
+                    np.abs(heading_error) <= 1e-6, 0.0, np.sign(heading_error)
+                )
+                actions[changing, k, 0] = bounded[:, 0]
+                actions[changing, k, 1] = sign * np.abs(bounded[:, 1])
+
         self._last_action = actions.copy()
         return actions
 

@@ -6,7 +6,16 @@ recording the paper's four evaluation metrics per episode.  With
 ``num_envs > 1`` the rollout phase runs on a
 :class:`~repro.envs.vector_env.VectorEnv` through
 :class:`BatchedRolloutWorker`, which fills the same replay buffers from
-vectorized rollouts with batched policy inference.
+vectorized rollouts with batched policy inference, and the interleaved
+greedy evaluations run on their own ``VectorEnv`` through
+:func:`evaluate_hero_vectorized`.
+
+Evaluation seeding: both evaluators derive episode reset seeds from one
+``SeedSequence`` spawn (:func:`repro.utils.seeding.episode_reset_seeds`),
+so evaluation episode ``e`` is a pure function of ``(seed, e)`` — the
+vectorized evaluator, which finishes episodes out of order, replays the
+exact seed stream of the scalar one and is bit-for-bit equal to it at
+``num_envs=1`` (``tests/test_eval_vectorized.py`` locks this in).
 """
 
 from __future__ import annotations
@@ -17,8 +26,9 @@ from ..config import TrainingConfig
 from ..envs.lane_change_env import CooperativeLaneChangeEnv
 from ..envs.skill_envs import LaneChangeEnv, LaneKeepingEnv, low_level_obs_dim
 from ..envs.vector_env import VectorEnv
-from ..utils.logging_utils import MetricLogger
+from ..utils.logging_utils import MetricLogger, summarise_eval_episodes
 from ..utils.schedule import LinearSchedule
+from ..utils.seeding import episode_reset_seeds
 from .batched import BatchedHeroRunner
 from .hero import HeroTeam
 from .low_level import SkillLibrary, train_skill
@@ -265,11 +275,20 @@ def _log_hero_eval(
     eval_episodes: int,
     config: TrainingConfig,
     episode: int,
+    evaluator=None,
 ) -> None:
-    """Greedy-evaluation metrics (shared by the scalar/vectorized loops)."""
-    eval_metrics = evaluate_hero(
-        env, team, episodes=eval_episodes, seed=config.seed + 500 + episode
-    )
+    """Greedy-evaluation metrics (shared by the scalar/vectorized loops).
+
+    ``evaluator`` maps ``(episodes, seed)`` to the metrics dict; it defaults
+    to the scalar :func:`evaluate_hero` on ``env`` and is overridden by the
+    vectorized training loop with a :func:`evaluate_hero_vectorized`
+    closure over its evaluation ``VectorEnv``.
+    """
+    if evaluator is None:
+        def evaluator(episodes, seed):
+            return evaluate_hero(env, team, episodes=episodes, seed=seed)
+
+    eval_metrics = evaluator(eval_episodes, config.seed + 500 + episode)
     logger.log_many(
         {
             f"{metric_prefix}/eval_episode_reward": eval_metrics["episode_reward"],
@@ -299,7 +318,9 @@ def _train_hero_vectorized(
 
     Episodes are logged in completion order; each finished episode triggers
     the same gradient-update budget as the scalar loop, so the only change
-    is how experience is gathered.
+    is how experience is gathered.  The interleaved greedy evaluations run
+    on a dedicated evaluation ``VectorEnv`` (the training one holds live
+    mid-episode state) through :func:`evaluate_hero_vectorized`.
     """
     if type(env) is not CooperativeLaneChangeEnv:
         raise ValueError(
@@ -307,24 +328,35 @@ def _train_hero_vectorized(
             "rollouts would silently train on different dynamics — use "
             "num_envs=1 or build the VectorEnv/BatchedRolloutWorker directly"
         )
+
     # Replicate the caller's env faithfully: share the (stateless) track and
     # scripted policy so custom traffic falls through to VectorEnv's scalar
     # fallback instead of being swapped for the defaults.
-    vec_env = VectorEnv(
-        num_envs,
-        env_fns=[
-            lambda: CooperativeLaneChangeEnv(
-                scenario=env.scenario,
-                rewards=env.rewards,
-                track=env.track,
-                scripted_policy=env._scripted_policy,
-            )
-        ]
-        * num_envs,
-    )
+    def env_fn() -> CooperativeLaneChangeEnv:
+        return CooperativeLaneChangeEnv(
+            scenario=env.scenario,
+            rewards=env.rewards,
+            track=env.track,
+            scripted_policy=env._scripted_policy,
+        )
+
+    vec_env = VectorEnv(num_envs, env_fns=[env_fn] * num_envs)
     worker = BatchedRolloutWorker(vec_env, team)
     seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(num_envs)]
     worker.reset(seeds)
+
+    evaluator = None
+    if eval_every:
+        # More eval envs than eval episodes would just burn steps on
+        # rollouts that are never scored.
+        eval_envs = max(min(num_envs, eval_episodes), 1)
+        eval_vec = VectorEnv(eval_envs, env_fns=[env_fn] * eval_envs)
+        eval_runner = BatchedHeroRunner(team, eval_vec)
+
+        def evaluator(episodes, seed):
+            return evaluate_hero_vectorized(
+                eval_vec, team, episodes=episodes, seed=seed, runner=eval_runner
+            )
 
     completed = 0
     losses: dict[str, float] = {}
@@ -346,7 +378,14 @@ def _train_hero_vectorized(
                 completed % eval_every == 0 or completed == episodes - 1
             ):
                 _log_hero_eval(
-                    logger, metric_prefix, env, team, eval_episodes, config, completed
+                    logger,
+                    metric_prefix,
+                    env,
+                    team,
+                    eval_episodes,
+                    config,
+                    completed,
+                    evaluator=evaluator,
                 )
             completed += 1
             if completed >= episodes:
@@ -360,11 +399,18 @@ def evaluate_hero(
     episodes: int,
     seed: int = 0,
 ) -> dict[str, float]:
-    """Greedy evaluation returning the paper's Table II style metrics."""
-    rng = np.random.default_rng(seed)
+    """Greedy evaluation returning the paper's Table II style metrics.
+
+    Episode reset seeds come from one ``SeedSequence`` spawn
+    (:func:`repro.utils.seeding.episode_reset_seeds`), so evaluation
+    episode ``e`` is a pure function of ``(seed, e)`` and
+    :func:`evaluate_hero_vectorized` — which finishes episodes out of
+    order — can replay the identical seed stream.
+    """
+    reset_seeds = episode_reset_seeds(seed, episodes)
     rewards, collisions, successes, speeds = [], [], [], []
-    for _ in range(episodes):
-        obs = env.reset(seed=int(rng.integers(0, 2**31 - 1)))
+    for episode in range(episodes):
+        obs = env.reset(seed=int(reset_seeds[episode]))
         team.start_episode()
         done = False
         info: dict = {}
@@ -377,9 +423,79 @@ def evaluate_hero(
         collisions.append(summary["collision"])
         successes.append(summary["merge_success_rate"])
         speeds.append(summary["mean_speed"])
-    return {
-        "episode_reward": float(np.mean(rewards)),
-        "collision_rate": float(np.mean(collisions)),
-        "success_rate": float(np.mean(successes)),
-        "mean_speed": float(np.mean(speeds)),
-    }
+    return summarise_eval_episodes(rewards, collisions, successes, speeds)
+
+
+def evaluate_hero_vectorized(
+    vec_env: VectorEnv,
+    team: HeroTeam,
+    episodes: int,
+    seed: int = 0,
+    runner: BatchedHeroRunner | None = None,
+) -> dict[str, float]:
+    """Greedy evaluation of ``team`` over a :class:`VectorEnv`.
+
+    Drives the env batch with :meth:`BatchedHeroRunner.act` in greedy mode
+    (``epsilon=0``, ``explore=False``) and never calls ``after_step`` —
+    mirroring the scalar :func:`evaluate_hero`, which selects one option
+    per agent at episode start, runs its skill to the episode's end, and
+    leaves replay buffers and opponent-model histories untouched.
+
+    Per-env episode accounting scores exactly ``episodes`` completed
+    episodes: env ``i`` always runs a specific evaluation-episode index
+    whose reset seed comes from the same ``SeedSequence`` spawn as the
+    scalar evaluator's, and per-episode summaries are accumulated by
+    episode index, so the returned means aggregate the identical episode
+    set in the identical order.  At ``num_envs=1`` the result is
+    **bit-for-bit** equal to :func:`evaluate_hero`; at larger batches the
+    only difference is last-ulp float noise from batched network forwards
+    (BLAS matmuls are not row-wise bit-stable across batch sizes), so
+    results are statistically identical.
+
+    ``runner`` may be a pre-built :class:`BatchedHeroRunner` over
+    ``vec_env`` (the interleaved-evaluation path reuses one across calls);
+    it must not be the training runner — evaluation clobbers its per-env
+    option state.
+    """
+    runner = runner or BatchedHeroRunner(team, vec_env)
+    if runner.vec_env is not vec_env:
+        raise ValueError("runner was built over a different VectorEnv")
+    reset_seeds = episode_reset_seeds(seed, episodes)
+    n = vec_env.num_envs
+
+    # opponent_mode='observed' actors condition on state the training
+    # rollouts left on the team; a reused/fresh eval runner must see it.
+    runner.sync_observed_options()
+    runner.start_all()
+    # Envs beyond the episode budget run unseeded and are never scored.
+    obs = vec_env.reset(
+        [int(reset_seeds[i]) if i < episodes else None for i in range(n)]
+    )
+
+    episode_of_env = np.arange(n)
+    next_to_start = n
+    rewards = np.zeros(episodes)
+    collisions = np.zeros(episodes)
+    successes = np.zeros(episodes)
+    speeds = np.zeros(episodes)
+    remaining = episodes
+    while remaining:
+        actions = runner.act(obs, epsilon=0.0, explore=False)
+        obs, _, dones, infos = vec_env.step(actions)
+        for i in np.flatnonzero(dones):
+            episode = int(episode_of_env[i])
+            if episode < episodes:
+                summary = infos[i]["episode"]
+                rewards[episode] = summary["episode_reward"]
+                collisions[episode] = summary["collision"]
+                successes[episode] = summary["merge_success_rate"]
+                speeds[episode] = summary["mean_speed"]
+                remaining -= 1
+            runner.start_episode(i)
+            episode_of_env[i] = next_to_start
+            if next_to_start < episodes:
+                row = vec_env.reset_env(i, seed=int(reset_seeds[next_to_start]))
+                for key in obs:
+                    obs[key][i] = row[key]
+            next_to_start += 1
+    return summarise_eval_episodes(rewards, collisions, successes, speeds)

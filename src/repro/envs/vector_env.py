@@ -18,10 +18,40 @@ in stacked NumPy arrays:
 The vectorized step reproduces the scalar environment **bitwise**: every
 arithmetic expression mirrors the scalar code path elementwise, and the
 lidar goes through the very same kernel (``tests/test_vector_env.py`` locks
-this in).  Environments whose configuration the fast path cannot express
-(image observations, custom scripted policies, subclassed envs) fall back
-to stepping the wrapped scalar environments one by one, so behaviour is
-always correct even when it is not fast.
+this in).
+
+Fast path vs fallback
+---------------------
+
+The stacked fast path is only taken when every wrapped environment shares a
+configuration the vectorized kernels can express:
+
+* ``observation_mode='features'`` (the image renderer has no batched
+  kernel),
+* the exact :class:`~repro.envs.lane_change_env.CooperativeLaneChangeEnv`
+  class (a subclass may override dynamics the kernels would silently drop),
+* identical scenario / reward / track parameters across the batch,
+* a scripted traffic policy with a vectorized kernel:
+  :class:`~repro.envs.traffic.SlowLeader`,
+  :class:`~repro.envs.traffic.LaneKeepingCruiser` or
+  :class:`~repro.envs.traffic.StationaryObstacle`.
+
+``SlowLeader`` and ``StationaryObstacle`` are self-contained (each scripted
+vehicle's command depends only on its own state), so all scripted vehicles
+move in one batched kinematics pass.  ``LaneKeepingCruiser`` *reads other
+vehicles' state* (it brakes toward the nearest same-lane leader), and the
+scalar environment moves scripted vehicles sequentially — vehicle ``k``'s
+controller sees vehicles ``j < k`` already moved.  Its vectorized kernel
+therefore loops over scripted vehicles in the same order, one batched
+update per vehicle across all envs, which keeps the fast path bitwise
+exact at the cost of a short Python loop (over vehicles, not envs).
+
+Anything else falls back to stepping the wrapped scalar environments one
+by one, so behaviour is always correct even when it is not fast:
+:attr:`VectorEnv.fast_path` reports which path is live and
+:attr:`VectorEnv.fallback_reason` carries a human-readable explanation of
+the first blocking configuration (``None`` on the fast path) — surface it
+in logs rather than silently training at scalar speed.
 """
 
 from __future__ import annotations
@@ -103,6 +133,23 @@ class VectorEnv:
         # batched option-termination logic in repro.core.batched.
         self.lane_ids = np.zeros((self.num_envs, self.num_agents), dtype=np.int64)
         self.lane_deviation = np.zeros((self.num_envs, self.num_agents))
+
+    @property
+    def agent_d(self) -> np.ndarray:
+        """Learning vehicles' lateral (Frenet ``d``) positions, ``(n, a)``.
+
+        Bitwise equal to each ``vehicle.state.d`` — unlike recovering the
+        pose from the normalised feature vector, which reintroduces float
+        rounding.  Tracks the observations the env last returned: rows of
+        auto-reset envs already hold the next episode's initial state.
+        Read-only by convention (a view into the stacked state).
+        """
+        return self._d[:, : self.num_agents]
+
+    @property
+    def agent_heading(self) -> np.ndarray:
+        """Learning vehicles' heading errors, ``(n, a)``; see :attr:`agent_d`."""
+        return self._heading[:, : self.num_agents]
 
     # ------------------------------------------------------------------
     # Construction helpers

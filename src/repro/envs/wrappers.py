@@ -5,6 +5,32 @@ primitive action space directly. DQN/COMA/MAAC need a discrete action set,
 so :class:`DiscreteActionWrapper` exposes a grid of (linear, angular)
 speed commands — the standard discretisation used when applying value-based
 methods to continuous driving control.
+
+Two parallel stacks expose the same interface contract:
+
+* scalar — :func:`make_baseline_env` builds
+  ``DiscreteActionWrapper(FlattenObservationWrapper(CooperativeLaneChangeEnv))``,
+  dict-in / dict-out, one env;
+* vectorized — :func:`make_baseline_vector_env` builds a
+  :class:`VectorBaselineEnv` over a
+  :class:`~repro.envs.vector_env.VectorEnv`: observations come out as
+  ``(num_envs, num_agents, obs_dim)`` stacks with the identical
+  ``[lidar, speed, lane_onehot, features]`` layout, and integer actions
+  index the identical (linear, angular) command grid, so an algorithm's
+  ``act_batch`` and ``act`` see the same numbers.
+
+Whether the vectorized stack actually runs batched is decided by the
+wrapped ``VectorEnv``: :attr:`VectorBaselineEnv.fast_path` /
+:attr:`VectorBaselineEnv.fallback_reason` forward its verdict.  The fast
+path covers feature-mode observations with ``SlowLeader``,
+``LaneKeepingCruiser`` or ``StationaryObstacle`` traffic
+(``LaneKeepingCruiser`` and ``StationaryObstacle`` keep bitwise exactness
+through sequential per-scripted-vehicle kernels — see
+``repro.envs.vector_env``); anything else steps the scalar envs one by
+one, correct but not fast, and ``fallback_reason`` says why — e.g.
+``"scripted policy CustomPolicy has no vectorized kernel"``.
+:func:`repro.baselines.base.train_marl_vectorized` surfaces it as a
+``RuntimeWarning`` rather than silently training at scalar speed.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..baselines import (
     evaluate_marl,
+    evaluate_marl_vectorized,
     make_baseline,
     train_marl,
     train_marl_vectorized,
@@ -25,8 +26,14 @@ from ..config import (
     TrainingConfig,
 )
 from ..core import HeroTeam, train_hero, train_low_level_skills
-from ..core.trainer import evaluate_hero
-from ..envs import CooperativeLaneChangeEnv, make_baseline_env, make_baseline_vector_env
+from ..core.trainer import evaluate_hero, evaluate_hero_vectorized
+from ..envs import (
+    CooperativeLaneChangeEnv,
+    VectorEnv,
+    make_baseline_env,
+    make_baseline_vector_env,
+)
+from ..envs.wrappers import VectorBaselineEnv
 from ..utils.logging_utils import MetricLogger
 
 METHOD_NAMES = ["hero", "idqn", "coma", "maddpg", "maac"]
@@ -45,7 +52,16 @@ def bench_scenario(episode_length: int = 30) -> ScenarioConfig:
 
 @dataclass
 class TrainedMethod:
-    """One trained method plus its training curves."""
+    """One trained method plus its training curves.
+
+    ``evaluate(env, episodes, seed)`` runs a greedy evaluation of the
+    trained controller.  ``env`` may be the method's scalar evaluation
+    stack (any wrapper, e.g. the Table 2 domain-shifted testbed) or a
+    vectorized one — a :class:`~repro.envs.vector_env.VectorEnv` for HERO,
+    a :class:`~repro.envs.wrappers.VectorBaselineEnv` for the baselines —
+    in which case episodes are batched through the vectorized evaluators
+    (bit-for-bit equal to scalar at one env, ~episode-parallel otherwise).
+    """
 
     name: str
     logger: MetricLogger
@@ -120,6 +136,8 @@ def train_hero_method(
             logger.log(name, value, int(step))
 
     def evaluate(eval_env, episodes, eval_seed=0):
+        if isinstance(eval_env, VectorEnv):
+            return evaluate_hero_vectorized(eval_env, team, episodes, seed=eval_seed)
         return evaluate_hero(eval_env, team, episodes, seed=eval_seed)
 
     return TrainedMethod(metric_prefix, logger, evaluate, controller=team)
@@ -139,8 +157,11 @@ def train_baseline_method(
 
     ``num_envs > 1`` collects experience from that many vectorized env
     copies through the algorithm's batched act/observe interface
-    (:func:`~repro.baselines.base.train_marl_vectorized`); ``num_envs == 1``
-    keeps the scalar loop (the two are metric-identical at one env).
+    (:func:`~repro.baselines.base.train_marl_vectorized`), with the
+    interleaved greedy evaluations batched the same way
+    (:func:`~repro.baselines.base.evaluate_marl_vectorized`);
+    ``num_envs == 1`` keeps the scalar loop (the two are metric-identical
+    at one env).
     """
     env = make_baseline_env(scenario=scenario, rewards=rewards)
     algo = make_baseline(name, env, seed=seed, **baseline_kwargs)
@@ -153,7 +174,6 @@ def train_baseline_method(
             seed=seed,
             updates_per_episode=updates_per_episode,
             epsilon_decay_episodes=max(episodes // 2, 1),
-            eval_env=env,
         )
     else:
         logger = train_marl(
@@ -166,6 +186,8 @@ def train_baseline_method(
         )
 
     def evaluate(eval_env, episodes, eval_seed=0):
+        if isinstance(eval_env, VectorBaselineEnv):
+            return evaluate_marl_vectorized(eval_env, algo, episodes, seed=eval_seed)
         return evaluate_marl(eval_env, algo, episodes, seed=eval_seed)
 
     return TrainedMethod(name, logger, evaluate, controller=algo)
@@ -183,9 +205,11 @@ def train_all_methods(
 
     ``scale=1.0`` reproduces the paper's full 14,000-episode budget;
     benchmark defaults use a small fraction so the suite finishes in
-    minutes (documented in EXPERIMENTS.md).  ``num_envs > 1`` collects
-    every method's rollouts — HERO's and the four baselines' — from that
-    many vectorized env copies with batched policy inference.
+    minutes (docs/REPRODUCING.md documents the budgets).  ``num_envs > 1``
+    collects every method's rollouts — HERO's and the four baselines' —
+    from that many vectorized env copies with batched policy inference,
+    and batches the interleaved greedy evaluations (the Fig. 7 curves)
+    the same way.
     """
     methods = methods or METHOD_NAMES
     scenario = scenario or bench_scenario()

@@ -33,7 +33,10 @@ def run_fig7(
 
     Curves are the periodic *greedy-evaluation* series (exploration-free),
     matching how learning curves are reported; the raw training-rollout
-    series remain available in each method's logger.
+    series remain available in each method's logger.  With ``num_envs > 1``
+    both training rollouts and these interleaved evaluations run
+    vectorized (``evaluate_hero_vectorized`` / ``evaluate_marl_vectorized``),
+    so the curves arrive at batched-rollout speed end to end.
     """
     result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
     panels: dict[str, dict[str, np.ndarray]] = {}

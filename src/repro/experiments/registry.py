@@ -70,7 +70,8 @@ def run_experiment(
 
     ``num_envs > 1`` collects every method's training rollouts — HERO's
     and the four baselines' — from that many vectorized environment copies
-    (see ``repro.envs.vector_env``).
+    and batches the interleaved greedy evaluations the same way (see
+    ``repro.envs.vector_env`` and docs/REPRODUCING.md).
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")

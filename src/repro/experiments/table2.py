@@ -78,6 +78,17 @@ def run_table2(
     result: ExperimentResult | None = None,
     num_envs: int = 1,
 ) -> dict:
+    """Train all methods (vectorized when ``num_envs > 1``, including the
+    interleaved greedy evaluations) and score each on the domain-shifted
+    testbed.
+
+    The final Table 2 evaluation itself stays scalar regardless of
+    ``num_envs``: :class:`~repro.envs.testbed.RealWorldTestbed` injects
+    per-step sensor noise and actuation delay that the stacked
+    ``VectorEnv`` kernels cannot express, so these 20 episodes step one
+    env at a time (they are a trivial fraction of the sweep's runtime —
+    the training loop dominates).
+    """
     result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
     rows = {}
     for name, trained in result.methods.items():

@@ -14,6 +14,26 @@ from collections import defaultdict
 import numpy as np
 
 
+def summarise_eval_episodes(
+    rewards, collisions, successes, speeds
+) -> dict[str, float]:
+    """Mean per-episode evaluation series into the paper's Table II metrics.
+
+    The single definition of the evaluation metric contract
+    (``episode_reward`` / ``collision_rate`` / ``success_rate`` /
+    ``mean_speed``), shared by the scalar and vectorized evaluators of
+    HERO (:mod:`repro.core.trainer`) and the baselines
+    (:mod:`repro.baselines.base`) so the five methods can never drift
+    apart on metric names.
+    """
+    return {
+        "episode_reward": float(np.mean(rewards)),
+        "collision_rate": float(np.mean(collisions)),
+        "success_rate": float(np.mean(successes)),
+        "mean_speed": float(np.mean(speeds)),
+    }
+
+
 class MetricLogger:
     """Append-only store of named scalar time series."""
 

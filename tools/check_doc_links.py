@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Docs link check: every relative link in the Markdown docs must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for inline Markdown links and fails
+when a relative target (file or directory) does not exist in the
+repository.  External links (``http(s)://``) are intentionally not
+fetched — CI must not depend on third-party uptime — and pure anchors
+(``#section``) are skipped.
+
+Usage::
+
+    python tools/check_doc_links.py            # check the repo's docs
+    python tools/check_doc_links.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links: [text](target). Images share the syntax via a leading "!".
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def iter_links(markdown: str):
+    """Yield link targets, skipping fenced code blocks."""
+    in_fence = False
+    for line in markdown.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from LINK_PATTERN.findall(line)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one error string per broken relative link in ``path``."""
+    errors = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 1
+
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if errors:
+        print(f"\nlink check FAILED ({len(errors)} broken) over: {checked}")
+        return 1
+    print(f"link check passed: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
