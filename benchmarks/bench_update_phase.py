@@ -1,0 +1,519 @@
+"""Update-phase microbenchmark: fused engine vs. the seed per-loop path.
+
+Not a paper table — this is the scaling guard for the gradient-update hot
+path added by ISSUE 4.  The *seed reference* below reconstructs the update
+step as it shipped before the fused engine landed: an unfused tape graph
+(one matmul node plus one add node per Linear), TD targets built on the
+autograd tape, the SAC actor pass backpropagating through the critic, a
+per-parameter Python Adam loop, and one network update at a time.  The
+equivalence tests (``tests/test_update_engine.py``) pin that this reference
+math is what the default path still computes bitwise; here it is only the
+*timing* baseline.
+
+The contract: at the batch sizes the in-tree paper-reproduction
+experiments train with (high-level/IDQN 128, SAC 256 — see
+``experiments/common.py``), one fused update round for HERO skills +
+high-level team + IDQN is **at least 3x** faster than the seed per-loop
+round.  At Table I's batch 1024 the update is BLAS-bound and the fused
+gain drops to ~1.8x (documented in docs/REPRODUCING.md).
+
+``test_update_phase_speedup`` measures and asserts the ratio; the
+``benchmark``-fixture test records the per-cycle cost of one fused update
+round that feeds the CI perf gate (``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.baselines import make_baseline
+from repro.config import ScenarioConfig
+from repro.core import HeroTeam, UpdateEngine
+from repro.core.low_level import SACAgent
+from repro.envs import CooperativeLaneChangeEnv, make_baseline_env
+from repro.nn import (
+    Tensor,
+    clip_grad_norm,
+    entropy_from_logits,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    soft_update,
+)
+from repro.nn.functional import log_softmax
+from repro.nn.layers import Identity, Linear
+from repro.nn.networks import LOG_STD_MAX, LOG_STD_MIN
+from repro.nn.tensor import concatenate
+from repro.training.replay import OptionTransition
+
+TARGET_SPEEDUP = 3.0
+N_UPDATE_ROUNDS = int(os.environ.get("REPRO_BENCH_UPDATE_STEPS", "20"))
+HIGH_LEVEL_BATCH = 128  # experiments/common.py train_hero_method batch size
+SAC_BATCH = 256  # SACAgent default (skill training)
+IDQN_BATCH = 128  # baseline default
+
+
+# ----------------------------------------------------------------------
+# Seed-style building blocks (the pre-engine implementation, for timing)
+# ----------------------------------------------------------------------
+class SeedAdam:
+    """The seed per-parameter Adam loop, expression for expression."""
+
+    def __init__(self, params, lr, betas=(0.9, 0.999), eps=1e-8):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self):
+        for param in self.params:
+            param.grad = None
+
+    def step(self):
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _tape_forward(net, x: Tensor) -> Tensor:
+    """Seed-style unfused forward: matmul node + add node per Linear."""
+    for child in net.children:
+        if isinstance(child, Linear):
+            x = x @ child.weight
+            if child.bias is not None:
+                x = x + child.bias
+        elif isinstance(child, Identity):
+            pass
+        else:
+            x = child(x)
+    return x
+
+
+def _seed_infer(net, x: np.ndarray) -> np.ndarray:
+    """The seed Sequential.infer: allocating adds and np.where relu."""
+    from repro.nn.layers import ReLU
+
+    x = np.asarray(x, dtype=np.float64)
+    for child in net.children:
+        if isinstance(child, Linear):
+            x = x @ child.weight.data
+            if child.bias is not None:
+                x = x + child.bias.data
+        elif isinstance(child, ReLU):
+            x = np.where(x > 0, x, 0.0)
+        elif isinstance(child, Identity):
+            pass
+        else:
+            x = child(Tensor(x)).data
+    return x
+
+
+def _seed_probs_inference(policy, obs: np.ndarray) -> np.ndarray:
+    logits = _seed_infer(policy.trunk.net, obs)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _seed_opponent_rep_batch(high, obs: np.ndarray) -> np.ndarray:
+    """Seed HighLevelAgent._opponent_rep_batch (mode 'model'): one
+    probs_inference per opponent predictor."""
+    batch = len(obs)
+    if high.num_opponents == 0:
+        return np.zeros((batch, 0))
+    probs = np.stack(
+        [
+            _seed_probs_inference(pred, obs)
+            for pred in high.opponent_model.predictors
+        ],
+        axis=1,
+    )
+    return probs.reshape(batch, -1)
+
+
+def _seed_sample(policy, obs, rng):
+    """Seed SquashedGaussianPolicy.sample on the unfused tape."""
+    out = _tape_forward(policy.trunk.net, Tensor(np.asarray(obs, dtype=np.float64)))
+    mean = out[:, : policy.action_dim]
+    log_std = out[:, policy.action_dim :].clip(LOG_STD_MIN, LOG_STD_MAX)
+    std = log_std.exp()
+    noise = Tensor(rng.standard_normal(mean.shape))
+    pre_tanh = mean + std * noise
+    squashed = pre_tanh.tanh()
+    action = squashed * Tensor(policy._action_scale) + Tensor(policy._action_offset)
+    log_prob = (-0.5 * ((noise * noise) + Tensor(np.log(2.0 * np.pi))) - log_std).sum(
+        axis=-1
+    )
+    inner = Tensor(np.log(2.0)) - pre_tanh - (pre_tanh * -2.0).softplus()
+    log_prob = log_prob - (inner * 2.0).sum(axis=-1)
+    log_prob = log_prob - float(np.sum(np.log(policy._action_scale)))
+    return action, log_prob
+
+
+def _seed_q(qnet, obs, action) -> Tensor:
+    action = action if isinstance(action, Tensor) else Tensor(action)
+    x = concatenate([Tensor(obs), action], axis=-1)
+    return _tape_forward(qnet.trunk.net, x).squeeze(-1)
+
+
+def _seed_min_q(twin, obs, action) -> Tensor:
+    return _seed_q(twin.q1, obs, action).minimum(_seed_q(twin.q2, obs, action))
+
+
+def seed_sac_update(agent: SACAgent, critic_opt: SeedAdam, actor_opt: SeedAdam):
+    """The seed SACAgent.update: tape targets, actor-through-critic backward."""
+    if len(agent.buffer) < agent.batch_size // 4 or len(agent.buffer) < 8:
+        return None
+    batch = agent.buffer.sample(agent.batch_size, agent._rng)
+
+    next_action, next_log_prob = _seed_sample(
+        agent.actor, batch["next_obs"], agent._rng
+    )
+    target_q = _seed_min_q(agent.target_critic, batch["next_obs"], next_action.detach())
+    soft_target = target_q.data - agent.alpha * next_log_prob.data
+    y = batch["rewards"] + agent.gamma * (1.0 - batch["dones"]) * soft_target
+
+    q1 = _seed_q(agent.critic.q1, batch["obs"], batch["actions"])
+    q2 = _seed_q(agent.critic.q2, batch["obs"], batch["actions"])
+    critic_loss = mse_loss(q1, y) + mse_loss(q2, y)
+    critic_opt.zero_grad()
+    critic_loss.backward()
+    clip_grad_norm(agent.critic.parameters(), agent.grad_clip)
+    critic_opt.step()
+
+    new_action, log_prob = _seed_sample(agent.actor, batch["obs"], agent._rng)
+    # Seed behaviour: the critic is NOT stop-gradiented here; its gradient
+    # buffers are filled and thrown away (the wasted backward ISSUE 4's
+    # satellite removed from the live path).
+    q_new = _seed_min_q(agent.critic, batch["obs"], new_action)
+    actor_loss = (log_prob * agent.alpha - q_new).mean()
+    actor_opt.zero_grad()
+    actor_loss.backward()
+    clip_grad_norm(agent.actor.parameters(), agent.grad_clip)
+    actor_opt.step()
+
+    if agent.auto_alpha:
+        entropy_gap = float((log_prob.data + agent.target_entropy).mean())
+        agent._log_alpha -= agent._alpha_lr * entropy_gap
+        agent._log_alpha = float(np.clip(agent._log_alpha, -10.0, 2.0))
+    soft_update(agent.target_critic, agent.critic, agent.tau)
+    return {"critic_loss": critic_loss.item(), "actor_loss": actor_loss.item()}
+
+
+def seed_high_level_update(high, critic_opt, actor_opt, opponent_opts):
+    """The seed HighLevelAgent.update (+ opponent model), one network at a time."""
+    if len(high.buffer) < max(high.batch_size // 4, 8):
+        return None
+    batch = high.buffer.sample(high.batch_size, high._rng)
+    batch_size = len(batch["obs"])
+
+    own_onehot = one_hot(batch["options"], high.num_options)
+    other_onehot = one_hot(batch["other_options"], high.num_options).reshape(
+        batch_size, -1
+    )
+    if high.num_opponents == 0:
+        other_onehot = np.zeros((batch_size, 0))
+
+    next_other_rep = _seed_opponent_rep_batch(high, batch["next_obs"])
+    next_actor_in = np.concatenate([batch["next_obs"], next_other_rep], axis=-1)
+    next_own_probs = _seed_probs_inference(high.actor, next_actor_in)
+    target_in = high._critic_input(batch["next_obs"], next_own_probs, next_other_rep)
+    next_q = _seed_infer(high.target_critic.net, target_in)[:, 0]
+    discount = high.gamma ** batch["steps"]
+    y = batch["rewards"] + discount * (1.0 - batch["dones"]) * next_q
+
+    critic_in = high._critic_input(batch["obs"], own_onehot, other_onehot)
+    q_values = _tape_forward(high.critic.net, Tensor(critic_in)).squeeze(-1)
+    critic_loss = mse_loss(q_values, y)
+    critic_opt.zero_grad()
+    critic_loss.backward()
+    clip_grad_norm(high.critic.parameters(), high.grad_clip)
+    critic_opt.step()
+
+    other_rep = _seed_opponent_rep_batch(high, batch["obs"])
+    actor_in = np.concatenate([batch["obs"], other_rep], axis=-1)
+    logits = _tape_forward(high.actor.trunk.net, Tensor(actor_in))
+    log_probs = log_softmax(logits, axis=-1)
+    probs = log_probs.exp()
+    q_all = np.stack(
+        [
+            _seed_infer(
+                high.critic.net,
+                high._critic_input(
+                    batch["obs"],
+                    one_hot(np.full(batch_size, option), high.num_options),
+                    other_onehot,
+                ),
+            )[:, 0]
+            for option in range(high.num_options)
+        ],
+        axis=1,
+    )
+    if high.use_baseline:
+        probs_data = np.exp(log_probs.data)
+        advantage = q_all - (probs_data * q_all).sum(axis=1, keepdims=True)
+    else:
+        advantage = q_all
+    entropy = entropy_from_logits(logits).mean()
+    actor_loss = -(probs * Tensor(advantage)).sum(axis=1).mean() - (
+        entropy * high.entropy_coef
+    )
+    actor_opt.zero_grad()
+    actor_loss.backward()
+    clip_grad_norm(high.actor.parameters(), high.grad_clip)
+    actor_opt.step()
+    soft_update(high.target_critic, high.critic, high.tau)
+
+    model = high.opponent_model
+    if high.opponent_mode == "model" and model.num_opponents and len(model.history) >= 8:
+        hist = model.history.sample(model.batch_size, high._rng)
+        for j, (predictor, opt) in enumerate(zip(model.predictors, opponent_opts)):
+            logits = _tape_forward(predictor.trunk.net, Tensor(hist["obs"]))
+            log_probs = log_softmax(logits, axis=-1)
+            nll = nll_loss(log_probs, hist["options"][:, j])
+            entropy = entropy_from_logits(logits).mean()
+            loss = nll - entropy * model.entropy_coef
+            opt.zero_grad()
+            loss.backward()
+            clip_grad_norm(predictor.parameters(), model.grad_clip)
+            opt.step()
+    return {"critic_loss": critic_loss.item(), "actor_loss": actor_loss.item()}
+
+
+def seed_idqn_update(algo, optimizers):
+    """The seed IndependentDQN.update: tape targets, one agent at a time."""
+    if any(len(b) < max(algo.batch_size // 4, 8) for b in algo.buffers.values()):
+        return None
+    losses = {}
+    for agent in algo.agent_ids:
+        batch = algo.buffers[agent].sample(algo.batch_size, algo._rng)
+        q_net = algo.q_networks[agent]
+        target_net = algo.target_networks[agent]
+        action_idx = batch["actions"].astype(np.int64)
+        next_q_target = _tape_forward(
+            target_net.trunk.net, Tensor(batch["next_obs"])
+        ).data
+        if algo.double_q:
+            next_best = (
+                _tape_forward(q_net.trunk.net, Tensor(batch["next_obs"]))
+                .data.argmax(axis=1)
+            )
+            next_value = np.take_along_axis(
+                next_q_target, next_best[:, None], axis=1
+            )[:, 0]
+        else:
+            next_value = next_q_target.max(axis=1)
+        y = batch["rewards"] + algo.gamma * (1.0 - batch["dones"]) * next_value
+        q_chosen = (
+            _tape_forward(q_net.trunk.net, Tensor(batch["obs"]))
+            .gather(action_idx, axis=-1)
+            .squeeze(-1)
+        )
+        loss = mse_loss(q_chosen, y)
+        optimizers[agent].zero_grad()
+        loss.backward()
+        clip_grad_norm(q_net.parameters(), algo.grad_clip)
+        optimizers[agent].step()
+        soft_update(target_net, q_net, algo.tau)
+        losses[f"{agent}/q_loss"] = loss.item()
+    return losses
+
+
+# ----------------------------------------------------------------------
+# Workload setup (synthetically filled buffers, identical on both sides)
+# ----------------------------------------------------------------------
+def _fill_team(team: HeroTeam, transitions: int = 600) -> None:
+    fill = np.random.default_rng(3)
+    for agent in team.agents.values():
+        high = agent.high_level
+        for _ in range(transitions):
+            high.store_transition(
+                OptionTransition(
+                    obs=fill.standard_normal(high.obs_dim),
+                    option=int(fill.integers(0, high.num_options)),
+                    other_options=fill.integers(
+                        0, high.num_options, max(high.num_opponents, 1)
+                    ),
+                    reward=float(fill.standard_normal()),
+                    next_obs=fill.standard_normal(high.obs_dim),
+                    done=bool(fill.uniform() < 0.1),
+                    steps=int(fill.integers(1, 6)),
+                )
+            )
+        for _ in range(transitions):
+            high.opponent_model.record(
+                fill.standard_normal(high.obs_dim),
+                fill.integers(0, high.num_options, high.num_opponents),
+            )
+
+
+def _make_team() -> HeroTeam:
+    env = CooperativeLaneChangeEnv(scenario=ScenarioConfig(episode_length=12))
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=HIGH_LEVEL_BATCH)
+    _fill_team(team)
+    return team
+
+
+def _make_sac() -> SACAgent:
+    agent = SACAgent(
+        obs_dim=20,
+        action_dim=2,
+        rng=np.random.default_rng(1),
+        action_low=np.array([0.0, -0.1]),
+        action_high=np.array([0.2, 0.1]),
+        batch_size=SAC_BATCH,
+    )
+    fill = np.random.default_rng(42)
+    agent.buffer.push_batch(
+        fill.standard_normal((2048, 20)),
+        fill.uniform(-0.1, 0.2, (2048, 2)),
+        fill.standard_normal(2048),
+        fill.standard_normal((2048, 20)),
+        fill.uniform(size=2048) < 0.1,
+    )
+    return agent
+
+
+def _make_idqn():
+    env = make_baseline_env(scenario=ScenarioConfig(episode_length=12))
+    algo = make_baseline("idqn", env, seed=0, batch_size=IDQN_BATCH)
+    fill = np.random.default_rng(7)
+    for agent in algo.agent_ids:
+        algo.buffers[agent].push_batch(
+            fill.standard_normal((2048, algo.obs_dim)),
+            fill.integers(0, algo.num_actions, (2048, 1)),
+            fill.standard_normal(2048),
+            fill.standard_normal((2048, algo.obs_dim)),
+            fill.uniform(size=2048) < 0.1,
+        )
+    return algo
+
+
+def _seed_round_fn():
+    """One seed-style update round over team + skill + IDQN copies."""
+    team = _make_team()
+    sac = _make_sac()
+    idqn = _make_idqn()
+    lr = 1e-3
+    team_opts = []
+    for agent in team.agents.values():
+        high = agent.high_level
+        team_opts.append(
+            (
+                high,
+                SeedAdam(high.critic.parameters(), lr),
+                SeedAdam(high.actor.parameters(), lr),
+                [
+                    SeedAdam(pred.parameters(), lr)
+                    for pred in high.opponent_model.predictors
+                ],
+            )
+        )
+    sac_critic_opt = SeedAdam(sac.critic.parameters(), 3e-3)
+    sac_actor_opt = SeedAdam(sac.actor.parameters(), 3e-3)
+    idqn_opts = {
+        agent: SeedAdam(idqn.q_networks[agent].parameters(), lr)
+        for agent in idqn.agent_ids
+    }
+
+    def one_round():
+        for high, critic_opt, actor_opt, opponent_opts in team_opts:
+            seed_high_level_update(high, critic_opt, actor_opt, opponent_opts)
+        seed_sac_update(sac, sac_critic_opt, sac_actor_opt)
+        seed_idqn_update(idqn, idqn_opts)
+
+    return one_round
+
+
+def _fused_round_fn():
+    """One fused-engine update round over identical team + skill + IDQN."""
+    team_engine = UpdateEngine(_make_team())
+    sac_engine = UpdateEngine(_make_sac())
+    idqn_engine = UpdateEngine(_make_idqn())
+
+    def one_round():
+        team_engine.update()
+        sac_engine.update()
+        idqn_engine.update()
+
+    return one_round
+
+
+def _time_rounds(fn, rounds: int) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_update_phase_speedup():
+    """The ISSUE 4 acceptance check: fused >= 3x over the seed per-loop path.
+
+    On shared CI runners wall-clock ratios are noisy, so under ``CI`` the
+    measurement is report-only (absolute regressions are caught by the
+    perf-gate job, which compares single-machine means); locally the ratio
+    is a hard assertion.
+    """
+    seed_round = _seed_round_fn()
+    fused_round = _fused_round_fn()
+    seed_seconds = _time_rounds(seed_round, N_UPDATE_ROUNDS)
+    fused_seconds = _time_rounds(fused_round, N_UPDATE_ROUNDS)
+    speedup = seed_seconds / fused_seconds
+    print(
+        f"\nseed per-loop: {seed_seconds / N_UPDATE_ROUNDS * 1e3:.2f} ms/round | "
+        f"fused engine: {fused_seconds / N_UPDATE_ROUNDS * 1e3:.2f} ms/round | "
+        f"{speedup:.2f}x"
+    )
+    if os.environ.get("CI"):
+        if speedup < TARGET_SPEEDUP:
+            print(
+                f"WARNING: {speedup:.2f}x below the {TARGET_SPEEDUP}x target "
+                "(report-only on shared CI runners)"
+            )
+        return
+    assert speedup >= TARGET_SPEEDUP, (
+        f"fused update phase only {speedup:.2f}x over the seed per-loop path "
+        f"(need >= {TARGET_SPEEDUP}x): {fused_seconds:.3f}s vs "
+        f"{seed_seconds:.3f}s for {N_UPDATE_ROUNDS} rounds"
+    )
+
+
+def test_update_engine_cycle(benchmark):
+    """One fused update round (HERO team + skill + IDQN) for the perf gate."""
+    fused_round = _fused_round_fn()
+    benchmark(fused_round)
+
+
+def test_fused_round_is_live():
+    """Cheap cross-check that the fused round actually trains (loss keys
+    present, parameters move); the full equivalence matrix lives in
+    tests/test_update_engine.py."""
+    engine = UpdateEngine(_make_team())
+    before = {
+        k: v.copy() for k, v in engine.target.state_dict().items() if "critic" in k
+    }
+    losses = engine.update()
+    assert any(key.endswith("critic_loss") for key in losses)
+    after = engine.target.state_dict()
+    assert any((before[k] != after[k]).any() for k in before)

@@ -33,14 +33,16 @@ from pathlib import Path
 
 # The hot-path guards: one scalar env step, one optimiser-in-the-loop MLP
 # step, one vectorized env step, one batched baseline act/step/observe
-# cycle, and one batched greedy-evaluation act/step cycle.  Names match
-# pytest node names.
+# cycle, one batched greedy-evaluation act/step cycle, and one fused
+# update round (HERO team + skill + IDQN through core.update_engine).
+# Names match pytest node names.
 GATED_BENCHMARKS = (
     "test_env_step_throughput",
     "test_mlp_forward_backward",
     "test_vector_env_step",
     "test_baseline_vector_cycle",
     "test_eval_vector_cycle",
+    "test_update_engine_cycle",
 )
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
 DEFAULT_THRESHOLD = 0.30

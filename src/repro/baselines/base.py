@@ -17,6 +17,15 @@ from ..utils.schedule import LinearSchedule
 from ..utils.seeding import episode_reset_seeds
 
 
+def _resolve_update_fn(algorithm: "MARLAlgorithm", fused_updates: bool):
+    """The algorithm's update callable, optionally through the fused engine."""
+    if not fused_updates:
+        return algorithm.update
+    from ..core.update_engine import UpdateEngine
+
+    return UpdateEngine(algorithm).update
+
+
 class MARLAlgorithm:
     """Interface every baseline implements.
 
@@ -132,6 +141,7 @@ def train_marl(
     metric_prefix: str | None = None,
     eval_every: int | None = None,
     eval_episodes: int = 3,
+    fused_updates: bool = False,
 ) -> MetricLogger:
     """Generic training loop recording the paper's four metrics.
 
@@ -139,9 +149,16 @@ def train_marl(
     (the ``end_episode`` hook) baselines. ``eval_every`` (default:
     episodes // 40) interleaves short greedy evaluations, logged under
     ``{prefix}/eval_*`` — the exploration-free curves Fig. 7 plots.
+
+    ``fused_updates`` routes gradient steps through
+    :class:`repro.core.update_engine.UpdateEngine` — IDQN's per-agent DQNs
+    update as one stacked family; algorithms without an
+    architecture-aligned fused path (COMA/MADDPG/MAAC) delegate to their
+    own ``update`` unchanged.
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
+    update_fn = _resolve_update_fn(algorithm, fused_updates)
     # Reset seeds are a pure function of (seed, episode) so the vectorized
     # loop — which finishes episodes out of order — replays the same stream.
     reset_seeds = episode_reset_seeds(seed, episodes)
@@ -165,7 +182,7 @@ def train_marl(
             done = dones["__all__"]
         algorithm.end_episode()
         for _ in range(updates_per_episode):
-            losses = algorithm.update()
+            losses = update_fn()
 
         summary = info["episode"]
         logger.log_many(
@@ -211,6 +228,7 @@ def train_marl_vectorized(
     eval_every: int | None = None,
     eval_episodes: int = 3,
     eval_num_envs: int | None = None,
+    fused_updates: bool = False,
 ) -> MetricLogger:
     """:func:`train_marl` with the rollout phase on a ``VectorBaselineEnv``.
 
@@ -233,6 +251,7 @@ def train_marl_vectorized(
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
+    update_fn = _resolve_update_fn(algorithm, fused_updates)
     epsilon_schedule = LinearSchedule(
         epsilon_start, epsilon_end, epsilon_decay_episodes or max(episodes // 2, 1)
     )
@@ -290,7 +309,7 @@ def train_marl_vectorized(
             if episode < episodes:
                 losses = None
                 for _ in range(updates_per_episode):
-                    losses = algorithm.update()
+                    losses = update_fn()
                 summary = infos[i]["episode"]
                 payload = {
                     "metrics": {

@@ -200,7 +200,7 @@ class COMA(MARLAlgorithm):
                 self.critic_opt.step()
 
                 # --- Actor: counterfactual advantage.
-                q_data = self.critic(critic_in).data  # (T, |A|)
+                q_data = self.critic.infer(critic_in)  # (T, |A|), no graph
                 logits = self.actors[i].forward(obs[:, i])
                 log_probs = log_softmax(logits, axis=-1)
                 probs = np.exp(log_probs.data)

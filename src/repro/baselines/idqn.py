@@ -144,9 +144,11 @@ class IndependentDQN(MARLAlgorithm):
             target_net = self.target_networks[agent]
             action_idx = batch["actions"].astype(np.int64)
 
-            next_q_target = target_net(batch["next_obs"]).data
+            # TD targets need no gradients: the inference path is bitwise
+            # equal to the tape forward and skips the graph entirely.
+            next_q_target = target_net.trunk.infer(batch["next_obs"])
             if self.double_q:
-                next_best = q_net(batch["next_obs"]).data.argmax(axis=1)
+                next_best = q_net.trunk.infer(batch["next_obs"]).argmax(axis=1)
                 next_value = np.take_along_axis(
                     next_q_target, next_best[:, None], axis=1
                 )[:, 0]

@@ -216,9 +216,9 @@ class MAAC(MARLAlgorithm):
         next_actions = np.zeros((batch_size, n), dtype=np.int64)
         next_log_probs = np.zeros((batch_size, n))
         for i in range(n):
-            logits = self.actor.forward(
+            logits = self.actor.logits_inference(
                 self._actor_input(batch["next_obs"][:, i], i)
-            ).data
+            )
             next_actions[:, i] = sample_categorical(logits, self._rng)
             row_log_probs = logits - _logsumexp_rows(logits)
             next_log_probs[:, i] = np.take_along_axis(

@@ -147,10 +147,11 @@ class MADDPG(MARLAlgorithm):
             batch_size, -1
         )
 
-        # Target joint action from the target actors (hard one-hot).
+        # Target joint action from the target actors (hard one-hot); the
+        # inference path is bitwise equal to the tape forward.
         target_next = [
             one_hot(
-                self.target_actors[j].forward(batch["next_obs"][:, j]).data.argmax(-1),
+                self.target_actors[j].logits_inference(batch["next_obs"][:, j]).argmax(-1),
                 self.num_actions,
             )
             for j in range(n)
@@ -160,9 +161,9 @@ class MADDPG(MARLAlgorithm):
         losses = {}
         for i, agent in enumerate(self.agent_ids):
             # --- Critic ----------------------------------------------------
-            target_q = self.target_critics[i](
+            target_q = self.target_critics[i].infer(
                 np.concatenate([joint_next_obs, joint_next_actions], axis=-1)
-            ).data[:, 0]
+            )[:, 0]
             y = batch["rewards"][:, i] + self.gamma * (1.0 - batch["dones"]) * target_q
             q = self.critics[i](
                 np.concatenate([joint_obs, joint_actions], axis=-1)
@@ -174,6 +175,9 @@ class MADDPG(MARLAlgorithm):
             self.critic_opts[i].step()
 
             # --- Actor (Gumbel-softmax straight-through) --------------------
+            # The critic is stop-gradiented for this pass (the actor loss
+            # only needs dQ/d(action)); the freeze spans backward() because
+            # the closures check requires_grad at propagation time.
             logits = self.actors[i].forward(batch["obs"][:, i])
             own_action = gumbel_softmax(
                 logits, self._rng, temperature=self.temperature, hard=True
@@ -188,9 +192,16 @@ class MADDPG(MARLAlgorithm):
             critic_input = concatenate(
                 [Tensor(joint_obs)] + pieces, axis=-1
             )
-            actor_loss = -self.critics[i](critic_input).mean()
-            self.actor_opts[i].zero_grad()
-            actor_loss.backward()
+            critic_params = self.critics[i].parameters()
+            for param in critic_params:
+                param.requires_grad = False
+            try:
+                actor_loss = -self.critics[i](critic_input).mean()
+                self.actor_opts[i].zero_grad()
+                actor_loss.backward()
+            finally:
+                for param in critic_params:
+                    param.requires_grad = True
             clip_grad_norm(self.actors[i].parameters(), self.grad_clip)
             self.actor_opts[i].step()
 

@@ -37,7 +37,11 @@ def _cmd_run(args) -> int:
     from .experiments import run_experiment
 
     run_experiment(
-        args.experiment, scale=args.scale, seed=args.seed, num_envs=args.num_envs
+        args.experiment,
+        scale=args.scale,
+        seed=args.seed,
+        num_envs=args.num_envs,
+        fused_updates=args.fused_updates,
     )
     return 0
 
@@ -47,7 +51,13 @@ def _cmd_run_all(args) -> int:
 
     for exp_id in sorted(EXPERIMENTS):
         print(f"\n######## {exp_id} ########")
-        run_experiment(exp_id, scale=args.scale, seed=args.seed, num_envs=args.num_envs)
+        run_experiment(
+            exp_id,
+            scale=args.scale,
+            seed=args.seed,
+            num_envs=args.num_envs,
+            fused_updates=args.fused_updates,
+        )
     return 0
 
 
@@ -100,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
             "evaluations, for HERO and all four baselines (1 = scalar loops)"
         ),
     )
+    run.add_argument(
+        "--fused-updates",
+        action="store_true",
+        help=(
+            "batch gradient updates across architecturally identical "
+            "networks (core.update_engine): HERO critics/actors/opponent "
+            "models and IDQN update as stacked families; tolerance-"
+            "equivalent to the default per-network loop, not bitwise"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment harness")
@@ -112,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "vectorized env copies for training AND the interleaved greedy "
             "evaluations, for HERO and all four baselines (1 = scalar loops)"
+        ),
+    )
+    run_all.add_argument(
+        "--fused-updates",
+        action="store_true",
+        help=(
+            "batch gradient updates across architecturally identical "
+            "networks (core.update_engine): HERO critics/actors/opponent "
+            "models and IDQN update as stacked families; tolerance-"
+            "equivalent to the default per-network loop, not bitwise"
         ),
     )
     run_all.set_defaults(func=_cmd_run_all)

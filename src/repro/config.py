@@ -126,6 +126,12 @@ class TrainingConfig:
     # parallel (1 = the scalar loop; >1 uses envs.vector_env.VectorEnv with
     # batched policy inference).
     num_envs: int = 1
+    # Route gradient updates through core.update_engine.UpdateEngine, which
+    # batches architecturally identical networks into one fused
+    # forward/backward per family.  Numerically equivalent to the default
+    # per-network loop within float tolerance (not bitwise — see
+    # docs/ARCHITECTURE.md, "Update phase").
+    fused_updates: bool = False
     epsilon_start: float = 1.0
     epsilon_end: float = 0.05
     epsilon_decay_episodes: int = 2_000

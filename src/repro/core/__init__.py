@@ -27,12 +27,14 @@ from .trainer import (
     train_hero,
     train_low_level_skills,
 )
+from .update_engine import FamilyAdam, StackedMLP, UpdateEngine
 from .vision import VisionEncoder, VisionSACAgent, train_vision_skill
 
 __all__ = [
     "ACCELERATE",
     "BatchedHeroRunner",
     "BatchedRolloutWorker",
+    "FamilyAdam",
     "HeroAgent",
     "HeroTeam",
     "HighLevelAgent",
@@ -40,9 +42,6 @@ __all__ = [
     "LANE_CHANGE",
     "OPTION_NAMES",
     "OpponentModel",
-    "VisionEncoder",
-    "VisionSACAgent",
-    "WindowedOpponentModel",
     "Option",
     "OptionContext",
     "OptionExecutor",
@@ -50,6 +49,11 @@ __all__ = [
     "SACAgent",
     "SLOW_DOWN",
     "SkillLibrary",
+    "StackedMLP",
+    "UpdateEngine",
+    "VisionEncoder",
+    "VisionSACAgent",
+    "WindowedOpponentModel",
     "evaluate_hero",
     "evaluate_hero_vectorized",
     "train_hero",

@@ -108,9 +108,13 @@ class SACAgent:
         batch = self.buffer.sample(self.batch_size, self._rng)
 
         # --- Critic update -------------------------------------------------
-        next_action, next_log_prob = self.actor.sample(batch["next_obs"], self._rng)
-        target_q = self.target_critic.min_q(batch["next_obs"], next_action.detach())
-        soft_target = target_q.data - self.alpha * next_log_prob.data
+        # TD targets never need gradients: sample and evaluate on the
+        # no-graph paths (bitwise equal to the tape versions).
+        next_action, next_log_prob = self.actor.sample_no_grad(
+            batch["next_obs"], self._rng
+        )
+        target_q = self.target_critic.min_q_inference(batch["next_obs"], next_action)
+        soft_target = target_q - self.alpha * next_log_prob
         y = batch["rewards"] + self.gamma * (1.0 - batch["dones"]) * soft_target
 
         q1, q2 = self.critic(batch["obs"], batch["actions"])
@@ -121,15 +125,25 @@ class SACAgent:
         self.critic_opt.step()
 
         # --- Actor update (reparameterised) --------------------------------
+        # The critic is stop-gradiented for this pass: the actor loss only
+        # needs dQ/d(action), so freezing the critic parameters keeps their
+        # gradient buffers untouched and skips the wasted weight backward.
+        # The backward closures check requires_grad at propagation time, so
+        # the freeze must span backward(), not just the forward.
         new_action, log_prob = self.actor.sample(batch["obs"], self._rng)
-        q_new = self.critic.min_q(batch["obs"], new_action)
-        actor_loss = (log_prob * self.alpha - q_new).mean()
-        self.actor_opt.zero_grad()
-        actor_loss.backward()
+        critic_params = self.critic.parameters()
+        for param in critic_params:
+            param.requires_grad = False
+        try:
+            q_new = self.critic.min_q(batch["obs"], new_action)
+            actor_loss = (log_prob * self.alpha - q_new).mean()
+            self.actor_opt.zero_grad()
+            actor_loss.backward()
+        finally:
+            for param in critic_params:
+                param.requires_grad = True
         clip_grad_norm(self.actor.parameters(), self.grad_clip)
         self.actor_opt.step()
-        # The actor pass also deposited gradients into the critic; they are
-        # cleared by critic_opt.zero_grad() on the next update.
 
         # --- Temperature update --------------------------------------------
         if self.auto_alpha:
@@ -175,10 +189,18 @@ def train_skill(
     warmup_steps: int = 64,
     logger: MetricLogger | None = None,
     log_prefix: str = "skill",
+    engine=None,
 ) -> MetricLogger:
-    """Algorithm 2: train one low-level skill with its intrinsic reward."""
+    """Algorithm 2: train one low-level skill with its intrinsic reward.
+
+    ``engine`` may be a :class:`~repro.core.update_engine.UpdateEngine`
+    over ``agent`` (the ``--fused-updates`` path); gradient steps then run
+    through its fused twin-critic/actor families instead of
+    :meth:`SACAgent.update`.
+    """
     logger = logger or MetricLogger()
     rng = np.random.default_rng(seed)
+    update = engine.update if engine is not None else agent.update
     total_steps = 0
     losses: dict[str, float] | None = None
     for episode in range(episodes):
@@ -196,7 +218,7 @@ def train_skill(
             episode_reward += reward
             total_steps += 1
             for _ in range(updates_per_step):
-                losses = agent.update()
+                losses = update()
         logger.log(f"{log_prefix}/episode_reward", episode_reward, episode)
         if losses is not None:
             logger.log_many(

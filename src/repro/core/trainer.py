@@ -32,6 +32,7 @@ from ..utils.seeding import episode_reset_seeds
 from .batched import BatchedHeroRunner
 from .hero import HeroTeam
 from .low_level import SkillLibrary, train_skill
+from .update_engine import UpdateEngine
 
 
 def train_low_level_skills(
@@ -50,6 +51,7 @@ def train_low_level_skills(
     rng = np.random.default_rng(config.seed)
     obs_dim = low_level_obs_dim(config.scenario)
     skills = skills or SkillLibrary(obs_dim, rng, hyper=config.hyper)
+    fused = config.fused_updates
 
     keeping_env = LaneKeepingEnv(config.scenario, config.rewards)
     train_skill(
@@ -59,6 +61,7 @@ def train_low_level_skills(
         seed=config.seed,
         logger=logger,
         log_prefix="lane_keeping",
+        engine=UpdateEngine(skills.driving_in_lane) if fused else None,
     )
 
     change_env = LaneChangeEnv(config.scenario, config.rewards)
@@ -69,6 +72,7 @@ def train_low_level_skills(
         seed=config.seed + 1,
         logger=logger,
         log_prefix="lane_change",
+        engine=UpdateEngine(skills.lane_change) if fused else None,
     )
     return skills, logger
 
@@ -153,6 +157,7 @@ def train_hero(
     eval_every: int | None = None,
     eval_episodes: int = 3,
     num_envs: int | None = None,
+    fused_updates: bool | None = None,
 ) -> MetricLogger:
     """Algorithm 1: train the high-level cooperative strategy.
 
@@ -169,10 +174,19 @@ def train_hero(
     environment copies with batched policy inference; updates, logging and
     evaluation cadence stay per-episode as in the scalar loop.  When the
     argument is omitted it defaults to ``config.num_envs``.
+
+    ``fused_updates`` (default ``config.fused_updates``) routes the
+    gradient phase through a :class:`~repro.core.update_engine.UpdateEngine`
+    over the team: all agents' critics, actors and opponent predictors are
+    updated as three stacked network families — tolerance-equivalent to the
+    per-agent loop, substantially faster (see docs/ARCHITECTURE.md).
     """
     config = config or TrainingConfig()
     if num_envs is None:
         num_envs = config.num_envs
+    if fused_updates is None:
+        fused_updates = config.fused_updates
+    update_fn = UpdateEngine(team).update if fused_updates else team.update
     logger = logger or MetricLogger()
     rng = np.random.default_rng(config.seed + 12345)
     epsilon_schedule = LinearSchedule(
@@ -199,6 +213,7 @@ def train_hero(
             eval_every=eval_every,
             eval_episodes=eval_episodes,
             config=config,
+            update_fn=update_fn,
         )
 
     losses: dict[str, float] = {}
@@ -219,7 +234,7 @@ def train_hero(
             step += 1
 
         for _ in range(n_updates):
-            losses = team.update()
+            losses = update_fn()
 
         summary = info.get("episode", env.episode_summary())
         attempts, _ = team.lane_change_stats()
@@ -313,6 +328,7 @@ def _train_hero_vectorized(
     eval_every: int | None,
     eval_episodes: int,
     config: TrainingConfig,
+    update_fn=None,
 ) -> MetricLogger:
     """Algorithm 1 with the rollout phase on a VectorEnv.
 
@@ -358,12 +374,14 @@ def _train_hero_vectorized(
                 eval_vec, team, episodes=episodes, seed=seed, runner=eval_runner
             )
 
+    if update_fn is None:
+        update_fn = team.update
     completed = 0
     losses: dict[str, float] = {}
     while completed < episodes:
         for stat in worker.collect(epsilon_schedule):
             for _ in range(n_updates):
-                losses = team.update()
+                losses = update_fn()
             _log_hero_episode(
                 logger,
                 metric_prefix,

@@ -1,0 +1,1058 @@
+"""Fused gradient-update engine: cross-network update batching.
+
+The update phase is dominated, at small ``--scale``, by many *small*,
+architecturally identical networks updated every step: each HERO agent's
+high-level critic and actor, its per-opponent option predictors, the twin
+SAC critics of every skill, and one DQN per IDQN agent.  Looping over them
+pays the Python tape/optimiser overhead once per network; this module pays
+it once per **network family** instead:
+
+* :class:`StackedMLP` holds K same-architecture MLPs as stacked
+  ``(K, in, out)`` parameters and runs one batched forward/backward for the
+  whole family.  Member networks' ``Parameter.data`` are rebound as views
+  into the stack, so rollout-time inference, ``state_dict`` and target-net
+  updates keep working on the live values.
+* :class:`FamilyAdam` is Adam over stacked parameters with per-member step
+  counts and active-member masking — elementwise identical to K independent
+  :class:`repro.nn.Adam` instances.
+* :class:`UpdateEngine` dispatches a :class:`~repro.core.hero.HeroTeam`, a
+  :class:`~repro.core.low_level.SACAgent` or a
+  :class:`~repro.baselines.base.MARLAlgorithm` to its fused update.
+
+**Equivalence caveat** (the ``--fused-updates`` contract): fused updates are
+numerically equivalent to the per-network loop within float tolerance, not
+bitwise — batched BLAS matmuls are not row-wise bit-stable across batch
+sizes (the same caveat the vectorized rollout layer documents), and the
+single-pass gradient-norm reductions reorder sums.  The default update path
+does not go through this module and stays bitwise-identical to the scalar
+loop.  ``tests/test_update_engine.py`` locks the tolerance equivalence;
+``benchmarks/bench_update_phase.py`` guards the speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import Parameter, Tensor, clip_grad_norm, one_hot
+from ..nn.layers import Identity, LeakyReLU, Linear, ReLU, Sigmoid, Tanh
+from ..nn.networks import MLP
+from ..nn.optim import clip_grad_norm_stacked
+
+_TENSOR_ACTIVATIONS = {
+    ReLU: lambda t, m: t.relu(),
+    Tanh: lambda t, m: t.tanh(),
+    Sigmoid: lambda t, m: t.sigmoid(),
+    LeakyReLU: lambda t, m: t.leaky_relu(m.negative_slope),
+}
+
+# In-place variants for inference: the input array is always a freshly
+# allocated matmul result the engine owns.  np.maximum(x, 0) produces the
+# same bits as np.where(x > 0, x, 0.0) for all finite inputs.
+_ARRAY_ACTIVATIONS = {
+    ReLU: lambda x, m: np.maximum(x, 0.0, out=x),
+    Tanh: lambda x, m: np.tanh(x, out=x),
+    Sigmoid: lambda x, m: 1.0 / (1.0 + np.exp(-x)),
+    LeakyReLU: lambda x, m: np.where(x > 0, x, m.negative_slope * x),
+}
+
+
+def _stacked_linear(x: Tensor, weight: Parameter, bias: Parameter | None) -> Tensor:
+    """One fused tape node for the stacked affine ``(K,B,in) @ (K,in,out) + b``.
+
+    Mirrors ``layers.Linear.forward`` at the family level: a single closure
+    instead of matmul + add nodes, with the bias adjoint reduced over the
+    batch axis exactly as ``_unbroadcast`` would.
+    """
+    data = np.matmul(x.data, weight.data)
+    if bias is not None:
+        data += bias.data  # in-place: ``data`` is a fresh matmul result
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ np.swapaxes(weight.data, -1, -2), fresh=True)
+        if weight.requires_grad:
+            weight._accumulate(np.swapaxes(x.data, -1, -2) @ grad, fresh=True)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=1, keepdims=True), fresh=True)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(data, parents, backward, "stacked_linear")
+
+
+def _stable_softmax(logits: np.ndarray) -> np.ndarray:
+    """Stable softmax over the last axis (same arithmetic as
+    ``CategoricalPolicy.probs_inference``)."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class StackedMLP:
+    """K architecturally identical MLPs fused into stacked parameters.
+
+    Parameters of layer ``l`` across the family become one
+    ``Parameter (K, in_l, out_l)`` (weights) and ``(K, 1, out_l)``
+    (biases); :meth:`forward` maps ``(K, B, in)`` to ``(K, B, out)`` with
+    one batched matmul per layer and the members' activation sequence.
+    After :meth:`bind_members`, every member ``Linear``'s ``Parameter.data``
+    is a row view into the stack, so the members stay live for rollout
+    inference and checkpointing while the engine updates the stack.
+    """
+
+    def __init__(self, members: Sequence[MLP]):
+        if not members:
+            raise ValueError("StackedMLP needs at least one member")
+        self.members = list(members)
+        nets = [m.net for m in self.members]
+        template = nets[0].children
+        for net in nets[1:]:
+            if len(net.children) != len(template):
+                raise ValueError("family members have different depths")
+            for child, ref in zip(net.children, template):
+                if type(child) is not type(ref):
+                    raise ValueError("family members have different layer types")
+                if isinstance(child, Linear) and (
+                    child.in_features != ref.in_features
+                    or child.out_features != ref.out_features
+                    or (child.bias is None) != (ref.bias is None)
+                ):
+                    raise ValueError("family members have different shapes")
+
+        self.weights: list[Parameter] = []
+        self.biases: list[Parameter | None] = []
+        self._ops: list[tuple[str, object]] = []
+        self._linear_columns: list[list[Linear]] = []
+        for idx, child in enumerate(template):
+            if isinstance(child, Linear):
+                column = [net.children[idx] for net in nets]
+                self._linear_columns.append(column)
+                self.weights.append(
+                    Parameter(np.stack([lin.weight.data for lin in column]))
+                )
+                if child.bias is not None:
+                    self.biases.append(
+                        Parameter(
+                            np.stack([lin.bias.data for lin in column])[:, None, :]
+                        )
+                    )
+                else:
+                    self.biases.append(None)
+                self._ops.append(("linear", len(self.weights) - 1))
+            elif isinstance(child, Identity):
+                continue
+            elif type(child) in _TENSOR_ACTIVATIONS:
+                self._ops.append(("act", child))
+            else:
+                raise ValueError(
+                    f"unsupported layer {type(child).__name__} in stacked family"
+                )
+        self._bound: list[tuple[Parameter, np.ndarray]] = []
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    def params(self) -> list[Parameter]:
+        return self.weights + [b for b in self.biases if b is not None]
+
+    # ------------------------------------------------------------------
+    # Member view binding
+    # ------------------------------------------------------------------
+    def bind_members(self) -> None:
+        """Rebind every member parameter as a view into the stack.
+
+        Call **after** the family optimiser is constructed: the optimiser
+        flattens the stacked parameters into its own buffer, and the member
+        views must alias that final storage.
+        """
+        self._bound = []
+        for layer, column in enumerate(self._linear_columns):
+            weight_stack = self.weights[layer].data
+            bias_stack = self.biases[layer].data if self.biases[layer] is not None else None
+            for k, lin in enumerate(column):
+                view = weight_stack[k]
+                lin.weight.data = view
+                self._bound.append((lin.weight, view))
+                if bias_stack is not None:
+                    bias_view = bias_stack[k, 0]
+                    lin.bias.data = bias_view
+                    self._bound.append((lin.bias, bias_view))
+
+    def sync_members(self) -> None:
+        """Re-adopt member parameters whose ``.data`` was reassigned.
+
+        ``load_state_dict`` replaces member ``.data`` with fresh arrays;
+        copy those values back into the stack and restore the views so the
+        engine and the members agree again.
+        """
+        for param, view in self._bound:
+            if param.data is not view:
+                view[...] = param.data
+                param.data = view
+
+    # ------------------------------------------------------------------
+    # Family forward passes
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Autograd forward over the whole family: ``(K, B, in) -> (K, B, out)``."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        for kind, op in self._ops:
+            if kind == "linear":
+                x = _stacked_linear(x, self.weights[op], self.biases[op])
+            else:
+                x = _TENSOR_ACTIVATIONS[type(op)](x, op)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Gradient-free family forward on raw arrays (in-place between layers)."""
+        x = np.asarray(x, dtype=np.float64)
+        for kind, op in self._ops:
+            if kind == "linear":
+                x = np.matmul(x, self.weights[op].data)
+                if self.biases[op] is not None:
+                    x += self.biases[op].data
+            else:
+                x = _ARRAY_ACTIVATIONS[type(op)](x, op)
+        return x
+
+    # ------------------------------------------------------------------
+    # Manual (tape-free) forward/backward — the engine hot path
+    # ------------------------------------------------------------------
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, list]:
+        """Forward pass caching what :meth:`backward_cached` needs.
+
+        The cache holds each linear layer's input and each activation's
+        local-derivative data; gradients computed from it are the exact
+        chain-rule expressions the tape would produce, with none of the
+        per-node closure overhead.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        cache: list[tuple] = []
+        for kind, op in self._ops:
+            if kind == "linear":
+                cache.append(("lin", op, x))
+                x = np.matmul(x, self.weights[op].data)
+                if self.biases[op] is not None:
+                    x += self.biases[op].data
+            elif isinstance(op, ReLU):
+                mask = x > 0
+                cache.append(("relu", mask))
+                x = np.maximum(x, 0.0, out=x)
+            elif isinstance(op, Tanh):
+                x = np.tanh(x, out=x)
+                cache.append(("tanh", x))
+            elif isinstance(op, Sigmoid):
+                x = 1.0 / (1.0 + np.exp(-x))
+                cache.append(("sigmoid", x))
+            else:  # LeakyReLU
+                mask = x > 0
+                cache.append(("leaky", mask, op.negative_slope))
+                x = np.where(mask, x, op.negative_slope * x)
+        return x, cache
+
+    def backward_cached(
+        self,
+        cache: list,
+        grad: np.ndarray,
+        with_params: bool = True,
+        need_input_grad: bool = False,
+    ) -> np.ndarray | None:
+        """Manual VJP through the cached forward; returns the input gradient.
+
+        With ``with_params`` the parameter gradients land in
+        ``Parameter.grad``: written **in place** when a gradient buffer is
+        already bound (:meth:`FamilyAdam.bind_grads` points them into the
+        optimiser's flat vector, so the whole backward allocates nothing),
+        freshly allocated when unbound.  Without it the parameters are
+        treated as frozen — the SAC actor's stop-gradient critic pass.
+        ``grad`` is consumed (mutated in place through the activation
+        adjoints); pass a copy if the caller still needs it.  Unless
+        ``need_input_grad`` is set, the first layer's input-gradient matmul
+        is skipped (no caller consumes it) and ``None`` is returned.
+        """
+        first = cache[0]
+        for entry in reversed(cache):
+            kind = entry[0]
+            if kind == "lin":
+                _, layer, x_in = entry
+                weight = self.weights[layer]
+                if with_params:
+                    x_t = np.swapaxes(x_in, -1, -2)
+                    if weight.grad is None:
+                        weight.grad = x_t @ grad
+                    else:
+                        np.matmul(x_t, grad, out=weight.grad)
+                    bias = self.biases[layer]
+                    if bias is not None:
+                        if bias.grad is None:
+                            bias.grad = grad.sum(axis=1, keepdims=True)
+                        else:
+                            np.sum(grad, axis=1, keepdims=True, out=bias.grad)
+                if entry is first and not need_input_grad:
+                    return None
+                grad = grad @ np.swapaxes(weight.data, -1, -2)
+            elif kind == "relu":
+                np.multiply(grad, entry[1], out=grad)
+            elif kind == "tanh":
+                np.multiply(grad, 1.0 - entry[1] ** 2, out=grad)
+            elif kind == "sigmoid":
+                out = entry[1]
+                np.multiply(grad, out * (1.0 - out), out=grad)
+            else:  # leaky
+                np.multiply(grad, np.where(entry[1], 1.0, entry[2]), out=grad)
+        return grad
+
+    def infer_from(self, x: np.ndarray, op_start: int) -> np.ndarray:
+        """Gradient-free forward starting at op index ``op_start``.
+
+        Lets callers that computed the first affine themselves (e.g. the
+        per-option critic sweep, which reuses the observation block across
+        options) run only the remaining layers.
+        """
+        for kind, op in self._ops[op_start:]:
+            if kind == "linear":
+                x = np.matmul(x, self.weights[op].data)
+                if self.biases[op] is not None:
+                    x += self.biases[op].data
+            else:
+                x = _ARRAY_ACTIVATIONS[type(op)](x, op)
+        return x
+
+    def zero_grad(self) -> None:
+        for param in self.params():
+            param.grad = None
+
+
+def soft_update_stacked(
+    target: StackedMLP,
+    source: StackedMLP,
+    tau: float,
+    active: np.ndarray | None = None,
+) -> None:
+    """Polyak-average the source family into the target family.
+
+    ``active`` (boolean, per member) restricts the update to the members
+    whose learners stepped this round — mirroring the per-agent
+    ``soft_update`` calls of the scalar loop.
+    """
+    full = active is None or bool(active.all())
+    idx = None if full else np.flatnonzero(active)
+    for tp, sp in zip(target.params(), source.params()):
+        if full:
+            tp.data *= 1.0 - tau
+            tp.data += tau * sp.data
+        elif len(idx):
+            tp.data[idx] *= 1.0 - tau
+            tp.data[idx] += tau * sp.data[idx]
+
+
+class FamilyAdam:
+    """Adam over stacked parameters, masked per family member.
+
+    Elementwise identical to K independent :class:`repro.nn.Adam`
+    optimisers (each member keeps its own step count for bias correction).
+    The stacked parameters and moments live in one flat buffer
+    (``Parameter.data`` becomes a view, like :class:`repro.nn.Optimizer`);
+    when every member is active and their step counts agree — the steady
+    state — the step is a dozen whole-buffer vector operations.  Uneven
+    histories (members whose learners were data-starved on earlier rounds)
+    fall back to per-parameter masked updates with per-member bias
+    corrections.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        num_members: int,
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.num_members = num_members
+        self._t = np.zeros(num_members, dtype=np.int64)
+
+        sizes = [p.data.size for p in self.params]
+        bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self._slices = [
+            slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        self._flat = np.empty(int(bounds[-1]))
+        for param, sl in zip(self.params, self._slices):
+            self._flat[sl] = param.data.reshape(-1)
+            param.data = self._flat[sl].reshape(param.data.shape)
+        self._grad = np.zeros_like(self._flat)
+        self._grad_views = [
+            self._grad[sl].reshape(p.data.shape)
+            for p, sl in zip(self.params, self._slices)
+        ]
+        self._m = np.zeros_like(self._flat)
+        self._v = np.zeros_like(self._flat)
+        self._buf = np.empty_like(self._flat)
+        self._buf2 = np.empty_like(self._flat)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def bind_grads(self) -> None:
+        """Point every ``Parameter.grad`` into the flat gradient buffer.
+
+        ``StackedMLP.backward_cached`` then writes gradients straight into
+        the optimiser's vector (no allocation, no gather copy in
+        :meth:`step`); stale contents are fully overwritten by the next
+        backward pass.
+        """
+        for param, view in zip(self.params, self._grad_views):
+            param.grad = view
+
+    def step(self, active: np.ndarray | None = None) -> None:
+        if active is None:
+            active = np.ones(self.num_members, dtype=bool)
+        if not active.any():
+            return
+        self._t[active] += 1
+        if bool(active.all()) and self._t.min() == self._t.max():
+            self._step_flat(int(self._t[0]))
+        else:
+            self._step_masked(active)
+
+    def _step_flat(self, t: int) -> None:
+        """Steady-state step: one fused pass over the whole family buffer."""
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, sl, view in zip(self.params, self._slices, self._grad_views):
+            if param.grad is view:
+                continue  # backward wrote straight into the flat buffer
+            if param.grad is None:
+                self._grad[sl] = 0.0
+                continue
+            self._grad[sl] = param.grad.reshape(-1)
+        grad, m, v = self._grad, self._m, self._v
+        buf, buf2 = self._buf, self._buf2
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=buf)
+        m += buf
+        v *= self.beta2
+        np.multiply(grad, grad, out=buf)
+        buf *= 1.0 - self.beta2
+        v += buf
+        np.divide(m, bias1, out=buf)
+        buf *= self.lr
+        np.divide(v, bias2, out=buf2)
+        np.sqrt(buf2, out=buf2)
+        buf2 += self.eps
+        buf /= buf2
+        self._flat -= buf
+
+    def _step_masked(self, active: np.ndarray) -> None:
+        """Per-member masked step for uneven histories (early training)."""
+        bias1 = 1.0 - self.beta1 ** self._t.astype(np.float64)
+        bias2 = 1.0 - self.beta2 ** self._t.astype(np.float64)
+        idx = np.flatnonzero(active)
+        for param, sl in zip(self.params, self._slices):
+            grad = param.grad
+            if grad is None:
+                continue
+            shape = param.data.shape
+            expand = (self.num_members,) + (1,) * (len(shape) - 1)
+            b1 = bias1.reshape(expand)
+            b2 = bias2.reshape(expand)
+            m = self._m[sl].reshape(shape)
+            v = self._v[sl].reshape(shape)
+            g = grad[idx]
+            m[idx] = m[idx] * self.beta1 + (1.0 - self.beta1) * g
+            v[idx] = v[idx] * self.beta2 + (1.0 - self.beta2) * g**2
+            param.data[idx] -= (
+                self.lr
+                * (m[idx] / b1[idx])
+                / (np.sqrt(v[idx] / b2[idx]) + self.eps)
+            )
+
+
+class HeroTeamUpdateEngine:
+    """Fused update for a :class:`~repro.core.hero.HeroTeam`.
+
+    The scalar loop runs, per agent: one critic step, one actor step and
+    one step per opponent predictor — ``A * (2 + J)`` small network updates.
+    Here the A critics, A actors and ``A * J`` predictors form three
+    :class:`StackedMLP` families, each updated with one forward/backward;
+    per-agent replay sampling order and eligibility gates are preserved, so
+    the result matches the scalar loop within float tolerance.
+    """
+
+    def __init__(self, team):
+        self.team = team
+        self.highs = [agent.high_level for agent in team.agents.values()]
+        self.agent_ids = list(team.agents.keys())
+        first = self.highs[0]
+        for high in self.highs[1:]:
+            if (
+                high.obs_dim != first.obs_dim
+                or high.num_options != first.num_options
+                or high.num_opponents != first.num_opponents
+                or high.opponent_mode != first.opponent_mode
+                or high.batch_size != first.batch_size
+            ):
+                raise ValueError("HeroTeam agents are not architecturally uniform")
+        self.num_options = first.num_options
+        self.num_opponents = first.num_opponents
+        self.opponent_mode = first.opponent_mode
+
+        self.critic_family = StackedMLP([h.critic for h in self.highs])
+        self.critic_opt = FamilyAdam(
+            self.critic_family.params(), len(self.highs), lr=first.critic_opt.lr
+        )
+        self.critic_family.bind_members()
+        self.target_family = StackedMLP([h.target_critic for h in self.highs])
+        self.target_family.bind_members()
+
+        self.actor_family = StackedMLP([h.actor.trunk for h in self.highs])
+        self.actor_opt = FamilyAdam(
+            self.actor_family.params(), len(self.highs), lr=first.actor_opt.lr
+        )
+        self.actor_family.bind_members()
+
+        self.opponent_family: StackedMLP | None = None
+        self.opponent_opt: FamilyAdam | None = None
+        if self.num_opponents and self.opponent_mode == "model":
+            predictors = [
+                pred.trunk for h in self.highs for pred in h.opponent_model.predictors
+            ]
+            self.opponent_family = StackedMLP(predictors)
+            self.opponent_opt = FamilyAdam(
+                self.opponent_family.params(),
+                len(predictors),
+                lr=first.opponent_model.optimizers[0].lr,
+            )
+            self.opponent_family.bind_members()
+
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        self.critic_family.sync_members()
+        self.target_family.sync_members()
+        self.actor_family.sync_members()
+        if self.opponent_family is not None:
+            self.opponent_family.sync_members()
+
+    def _opponent_rep(self, obs_stack: np.ndarray) -> np.ndarray:
+        """Per-agent opponent representation, shape ``(A, B, J * O)``.
+
+        Mirrors ``HighLevelAgent._opponent_rep_batch`` for every agent in
+        one family inference pass (mode ``model``).
+        """
+        num_agents, batch = obs_stack.shape[:2]
+        options = self.num_options
+        opponents = self.num_opponents
+        if opponents == 0:
+            return np.zeros((num_agents, batch, 0))
+        if self.opponent_mode == "model":
+            stacked_in = np.repeat(obs_stack, opponents, axis=0)  # (A*J, B, do)
+            logits = self.opponent_family.infer(stacked_in)
+            probs = _stable_softmax(logits)  # (A*J, B, O)
+            return (
+                probs.reshape(num_agents, opponents, batch, options)
+                .transpose(0, 2, 1, 3)
+                .reshape(num_agents, batch, opponents * options)
+            )
+        if self.opponent_mode == "observed":
+            rows = [
+                np.tile(
+                    one_hot(h._last_observed_options, options).reshape(-1), (batch, 1)
+                )
+                for h in self.highs
+            ]
+            return np.stack(rows)
+        return np.zeros((num_agents, batch, opponents * options))
+
+    # ------------------------------------------------------------------
+    def update(self) -> dict[str, float]:
+        """One fused team update; same merged-loss dict as ``HeroTeam.update``."""
+        self._sync()
+        highs = self.highs
+        num_agents = len(highs)
+        options = self.num_options
+        opponents = self.num_opponents
+        batch_size = highs[0].batch_size
+
+        eligible = np.array(
+            [len(h.buffer) >= max(h.batch_size // 4, 8) for h in highs]
+        )
+        if not eligible.any():
+            return {}
+        batches = [
+            h.buffer.sample(batch_size, h._rng) if ok else None
+            for h, ok in zip(highs, eligible)
+        ]
+
+        # Buffers return min(batch_size, len(buffer)) rows, so early batches
+        # can be ragged across agents; pad to the widest and weight rows by
+        # 1/B_k so each member's loss is exactly its own batch mean.  In
+        # the steady state every batch is full and stacking is direct.
+        counts = np.array(
+            [len(b["obs"]) if b is not None else 1 for b in batches]
+        )
+        obs_dim = highs[0].obs_dim
+        if eligible.all() and counts.min() == counts.max():
+            batch_size = int(counts[0])
+            row_weight = np.full((num_agents, batch_size), 1.0 / batch_size)
+            obs = np.array([b["obs"] for b in batches], dtype=np.float64)
+            next_obs = np.array([b["next_obs"] for b in batches], dtype=np.float64)
+            rewards = np.array([b["rewards"] for b in batches], dtype=np.float64)
+            dones = np.array([b["dones"] for b in batches], dtype=np.float64)
+            steps = np.array([b["steps"] for b in batches], dtype=np.float64)
+            opts = np.array([b["options"] for b in batches], dtype=np.int64)
+            others = np.array(
+                [b["other_options"] for b in batches], dtype=np.int64
+            )
+        else:
+            batch_size = int(counts.max())
+            row_weight = np.zeros((num_agents, batch_size))
+            obs = np.zeros((num_agents, batch_size, obs_dim))
+            next_obs = np.zeros((num_agents, batch_size, obs_dim))
+            rewards = np.zeros((num_agents, batch_size))
+            dones = np.zeros((num_agents, batch_size))
+            steps = np.zeros((num_agents, batch_size))
+            opts = np.zeros((num_agents, batch_size), dtype=np.int64)
+            others = np.zeros(
+                (num_agents, batch_size, max(opponents, 1)), dtype=np.int64
+            )
+            for k, batch in enumerate(batches):
+                if batch is None:
+                    continue
+                rows = counts[k]
+                row_weight[k, :rows] = 1.0 / rows
+                obs[k, :rows] = batch["obs"]
+                next_obs[k, :rows] = batch["next_obs"]
+                rewards[k, :rows] = batch["rewards"]
+                dones[k, :rows] = batch["dones"]
+                steps[k, :rows] = batch["steps"]
+                opts[k, :rows] = batch["options"]
+                others[k, :rows] = batch["other_options"]
+
+        own_onehot = one_hot(opts, options)  # (A, B, O)
+        if opponents:
+            other_onehot = one_hot(others, options).reshape(
+                num_agents, batch_size, opponents * options
+            )
+        else:
+            other_onehot = np.zeros((num_agents, batch_size, 0))
+
+        # --- Critic family: SMDP TD targets, one cached forward + manual VJP.
+        # One family pass covers the opponent representations of both the
+        # TD-target states (next_obs) and the actor states (obs).
+        both_reps = self._opponent_rep(
+            np.concatenate([next_obs, obs], axis=1)
+        )
+        next_other_rep = both_reps[:, :batch_size]
+        other_rep = both_reps[:, batch_size:]
+        next_actor_in = np.concatenate([next_obs, next_other_rep], axis=-1)
+        next_own_probs = _stable_softmax(self.actor_family.infer(next_actor_in))
+        target_in = np.concatenate(
+            [next_obs, next_own_probs, next_other_rep], axis=-1
+        )
+        next_q = self.target_family.infer(target_in)[..., 0]
+        discount = highs[0].gamma ** steps
+        y = rewards + discount * (1.0 - dones) * next_q
+
+        member_w = eligible.astype(np.float64)
+        critic_in = np.concatenate([obs, own_onehot, other_onehot], axis=-1)
+        q_out, critic_cache = self.critic_family.forward_cached(critic_in)
+        diff = q_out[..., 0] - y  # (A, B)
+        critic_losses = (diff * diff * row_weight).sum(axis=1)  # per-member means
+        grad_q = (2.0 * diff * row_weight) * member_w[:, None]
+        self.critic_opt.bind_grads()
+        self.critic_family.backward_cached(critic_cache, grad_q[..., None])
+        clip_grad_norm_stacked(
+            [p.grad for p in self.critic_family.params()], highs[0].grad_clip
+        )
+        self.critic_opt.step(eligible)
+        soft_update_stacked(
+            self.target_family, self.critic_family, highs[0].tau, eligible
+        )
+
+        # --- Actor family: expected (all-option) policy gradient, manual VJP.
+        actor_in = np.concatenate([obs, other_rep], axis=-1)
+        logits, actor_cache = self.actor_family.forward_cached(actor_in)  # (A,B,O)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        probs = np.exp(log_probs)
+
+        # Per-option critic sweep: only the own-option one-hot block of the
+        # first affine varies across options, so compute the (obs, others)
+        # contribution once and add the option's weight row per option —
+        # then run the remaining layers on the (A, O*B) stack.
+        W1 = self.critic_family.weights[0].data  # (A, ci, H)
+        b1 = self.critic_family.biases[0].data
+        base = (
+            np.matmul(obs, W1[:, :obs_dim])
+            + np.matmul(other_onehot, W1[:, obs_dim + options :])
+            + b1
+        )  # (A, B, H)
+        option_rows = W1[:, obs_dim : obs_dim + options]  # (A, O, H)
+        z1 = (base[:, None] + option_rows[:, :, None, :]).reshape(
+            num_agents, options * batch_size, -1
+        )
+        q_all = (
+            self.critic_family.infer_from(z1, 1)[..., 0]
+            .reshape(num_agents, options, batch_size)
+            .transpose(0, 2, 1)
+        )  # (A, B, O)
+        if highs[0].use_baseline:
+            advantage = q_all - (probs * q_all).sum(axis=-1, keepdims=True)
+        else:
+            advantage = q_all
+        expected_adv = (probs * advantage).sum(axis=-1)  # (A, B)
+        entropy_rows = -(probs * log_probs).sum(axis=-1)  # (A, B)
+        entropy = (entropy_rows * row_weight).sum(axis=-1)  # per-member means
+        coef = highs[0].entropy_coef
+        actor_losses = -(expected_adv * row_weight).sum(axis=-1) - entropy * coef
+        # d/dlogits of [-E_pi[A] - coef*H]: softmax Jacobian in closed form.
+        grad_logits = (member_w[:, None, None] * row_weight[..., None]) * (
+            -(probs * (advantage - expected_adv[..., None]))
+            + coef * (probs * (log_probs + entropy_rows[..., None]))
+        )
+        self.actor_opt.bind_grads()
+        self.actor_family.backward_cached(actor_cache, grad_logits)
+        clip_grad_norm_stacked(
+            [p.grad for p in self.actor_family.params()], highs[0].grad_clip
+        )
+        self.actor_opt.step(eligible)
+
+        losses: dict[str, float] = {}
+        for k, agent_id in enumerate(self.agent_ids):
+            if not eligible[k]:
+                continue
+            losses[f"{agent_id}/critic_loss"] = float(critic_losses[k])
+            losses[f"{agent_id}/actor_loss"] = float(actor_losses[k])
+            losses[f"{agent_id}/entropy"] = float(entropy[k])
+
+        # --- Opponent-model family: one NLL step for all A*J predictors.
+        if self.opponent_family is not None:
+            self._update_opponent_models(eligible, losses)
+        return losses
+
+    def _update_opponent_models(
+        self, eligible: np.ndarray, losses: dict[str, float]
+    ) -> None:
+        highs = self.highs
+        num_agents = len(highs)
+        opponents = self.num_opponents
+        options = self.num_options
+        models = [h.opponent_model for h in highs]
+        # The scalar loop reaches the opponent update only for agents that
+        # passed the main eligibility gate, then gates again on history.
+        agent_ok = eligible & np.array([len(m.history) >= 8 for m in models])
+        if not agent_ok.any():
+            return
+        batch_size = models[0].batch_size
+        hist = [
+            m.history.sample(batch_size, h._rng) if ok else None
+            for m, h, ok in zip(models, highs, agent_ok)
+        ]
+        counts = np.array([len(b["obs"]) if b is not None else 1 for b in hist])
+        batch_size = int(counts.max())
+        hist_dim = models[0].obs_dim
+        hist_obs = np.zeros((num_agents, batch_size, hist_dim))
+        hist_labels = np.zeros((num_agents, batch_size, opponents), dtype=np.int64)
+        row_weight = np.zeros((num_agents, batch_size))
+        for k, batch in enumerate(hist):
+            if batch is None:
+                continue
+            rows = counts[k]
+            row_weight[k, :rows] = 1.0 / rows
+            hist_obs[k, :rows] = batch["obs"]
+            hist_labels[k, :rows] = batch["options"]
+
+        member_ok = np.repeat(agent_ok, opponents)  # (A*J,)
+        stacked_in = np.repeat(hist_obs, opponents, axis=0)  # (A*J, B, do)
+        labels = hist_labels.transpose(0, 2, 1).reshape(
+            num_agents * opponents, batch_size
+        )
+        row_w = np.repeat(row_weight, opponents, axis=0)  # (A*J, B)
+        logits, cache = self.opponent_family.forward_cached(stacked_in)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        probs = np.exp(log_probs)
+        picked = np.take_along_axis(log_probs, labels[..., None], axis=-1)[..., 0]
+        nll = -((picked * row_w).sum(axis=-1))  # (A*J,) per-member means
+        entropy_rows = -(probs * log_probs).sum(axis=-1)  # (A*J, B)
+        entropy = (entropy_rows * row_w).sum(axis=-1)
+        coef = models[0].entropy_coef
+        # d/dlogits of [NLL - coef*H]: (p - onehot) plus the entropy Jacobian.
+        member_w = member_ok.astype(np.float64)
+        grad_logits = (member_w[:, None, None] * row_w[..., None]) * (
+            (probs - one_hot(labels, options))
+            + coef * (probs * (log_probs + entropy_rows[..., None]))
+        )
+        self.opponent_opt.bind_grads()
+        self.opponent_family.backward_cached(cache, grad_logits)
+        clip_grad_norm_stacked(
+            [p.grad for p in self.opponent_family.params()], models[0].grad_clip
+        )
+        self.opponent_opt.step(member_ok)
+
+        for k, agent_id in enumerate(self.agent_ids):
+            if not agent_ok[k]:
+                continue
+            for j in range(opponents):
+                member = k * opponents + j
+                losses[f"{agent_id}/opponent_{j}_nll"] = float(nll[member])
+                losses[f"{agent_id}/opponent_{j}_entropy"] = float(entropy[member])
+
+
+class SACUpdateEngine:
+    """Fused update for one :class:`~repro.core.low_level.SACAgent`.
+
+    The twin critics are one two-member family (one forward/backward for
+    both Q networks, jointly clipped and stepped as in the scalar loop);
+    the actor runs as a one-member family with the squashed-Gaussian
+    reparameterisation gradient in closed form against the frozen critic.
+    RNG consumption matches ``SACAgent.update`` draw for draw.
+    """
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.critic_family = StackedMLP(
+            [agent.critic.q1.trunk, agent.critic.q2.trunk]
+        )
+        self.critic_opt = FamilyAdam(
+            self.critic_family.params(), 2, lr=agent.critic_opt.lr
+        )
+        self.critic_family.bind_members()
+        self.target_family = StackedMLP(
+            [agent.target_critic.q1.trunk, agent.target_critic.q2.trunk]
+        )
+        self.target_family.bind_members()
+        self.actor_family = StackedMLP([agent.actor.trunk])
+        self.actor_opt = FamilyAdam(
+            self.actor_family.params(), 1, lr=agent.actor_opt.lr
+        )
+        self.actor_family.bind_members()
+
+    def update(self) -> dict[str, float] | None:
+        agent = self.agent
+        if len(agent.buffer) < agent.batch_size // 4 or len(agent.buffer) < 8:
+            return None
+        self.critic_family.sync_members()
+        self.target_family.sync_members()
+        self.actor_family.sync_members()
+        batch = agent.buffer.sample(agent.batch_size, agent._rng)
+
+        # --- Critic family -------------------------------------------------
+        next_action, next_log_prob = agent.actor.sample_no_grad(
+            batch["next_obs"], agent._rng
+        )
+        target_in = np.concatenate([batch["next_obs"], next_action], axis=-1)
+        target_q = self.target_family.infer(
+            np.broadcast_to(target_in, (2,) + target_in.shape)
+        )[..., 0].min(axis=0)
+        soft_target = target_q - agent.alpha * next_log_prob
+        y = batch["rewards"] + agent.gamma * (1.0 - batch["dones"]) * soft_target
+
+        critic_in = np.concatenate([batch["obs"], batch["actions"]], axis=-1).astype(
+            np.float64
+        )
+        batch_rows = len(critic_in)
+        q_out, critic_cache = self.critic_family.forward_cached(
+            np.broadcast_to(critic_in, (2,) + critic_in.shape)
+        )
+        diff = q_out[..., 0] - y[None]  # (2, B)
+        critic_loss = float((diff * diff).mean(axis=1).sum())
+        self.critic_opt.bind_grads()
+        self.critic_family.backward_cached(
+            critic_cache, (2.0 / batch_rows) * diff[..., None]
+        )
+        clip_grad_norm(self.critic_family.params(), agent.grad_clip)
+        self.critic_opt.step()
+
+        # --- Actor against the frozen critic family ------------------------
+        # Reparameterised sample with the same RNG draw as actor.sample,
+        # then the closed-form squashed-Gaussian VJP: dQ/d(action) comes
+        # from the critic family's manual backward with frozen parameters
+        # (the stop-gradient critic pass) and is chained through the tanh
+        # rescale, the noise reparameterisation and the log-prob terms.
+        obs64 = np.asarray(batch["obs"], dtype=np.float64)
+        obs_width = obs64.shape[-1]
+        actor = self.agent.actor
+        out, trunk_cache = self.actor_family.forward_cached(obs64[None])
+        action, log_prob, parts = actor.sample_no_grad(
+            batch["obs"], agent._rng, trunk_out=out[0], return_parts=True
+        )
+        std, noise = parts["std"], parts["noise"]
+        squashed, clip_mask = parts["squashed"], parts["clip_mask"]
+
+        actor_q_in = np.concatenate([obs64, action], axis=-1)
+        q_rows, q_cache = self.critic_family.forward_cached(
+            np.broadcast_to(actor_q_in, (2,) + actor_q_in.shape)
+        )
+        q_pair = q_rows[..., 0]  # (2, B)
+        take_first = q_pair[0] <= q_pair[1]
+        q_new = np.where(take_first, q_pair[0], q_pair[1])
+        actor_loss = float(np.mean(agent.alpha * log_prob - q_new))
+
+        # dL/dq_new = -1/B routed to the member the min selected.
+        upstream = np.full(batch_rows, -1.0 / batch_rows)
+        grad_pair = np.stack([upstream * take_first, upstream * ~take_first])
+        grad_q_in = self.critic_family.backward_cached(
+            q_cache, grad_pair[..., None], with_params=False, need_input_grad=True
+        )
+        grad_action = grad_q_in[:, :, obs_width:].sum(axis=0)  # (B, d)
+        # Chain rule: action -> tanh -> pre_tanh -> (mean, log_std), plus
+        # the log-prob terms (alpha/B each): d log_prob/d pre_tanh = 2*tanh
+        # (tanh correction), d log_prob/d log_std = -1 (Gaussian term).
+        grad_log_prob = agent.alpha / batch_rows
+        grad_squashed = grad_action * actor._action_scale
+        grad_pre_tanh = grad_squashed * (1.0 - squashed**2) + grad_log_prob * (
+            2.0 * squashed
+        )
+        grad_mean = grad_pre_tanh
+        grad_log_std = (grad_pre_tanh * (std * noise) - grad_log_prob) * clip_mask
+        grad_out = np.concatenate([grad_mean, grad_log_std], axis=-1)[None]
+        self.actor_opt.bind_grads()
+        self.actor_family.backward_cached(trunk_cache, grad_out)
+        clip_grad_norm(self.actor_family.params(), agent.grad_clip)
+        self.actor_opt.step()
+
+        # --- Temperature + targets (same as the scalar loop) ---------------
+        if agent.auto_alpha:
+            entropy_gap = float((log_prob + agent.target_entropy).mean())
+            agent._log_alpha -= agent._alpha_lr * entropy_gap
+            agent._log_alpha = float(np.clip(agent._log_alpha, -10.0, 2.0))
+        soft_update_stacked(self.target_family, self.critic_family, agent.tau)
+        return {
+            "critic_loss": critic_loss,
+            "actor_loss": actor_loss,
+            "alpha": agent.alpha,
+            "entropy": -float(log_prob.mean()),
+        }
+
+
+class IDQNUpdateEngine:
+    """Fused update for :class:`~repro.baselines.idqn.IndependentDQN`.
+
+    The per-agent DQNs (and their targets) become one family each: one
+    stacked forward/backward replaces the per-agent loop, with per-member
+    gradient clipping and a vectorized soft target update.  Replay sampling
+    order over the shared RNG matches the scalar loop.
+    """
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        ids = algorithm.agent_ids
+        self.family = StackedMLP([algorithm.q_networks[a].trunk for a in ids])
+        self.opt = FamilyAdam(
+            self.family.params(), len(ids), lr=algorithm.optimizers[ids[0]].lr
+        )
+        self.family.bind_members()
+        self.target_family = StackedMLP(
+            [algorithm.target_networks[a].trunk for a in ids]
+        )
+        self.target_family.bind_members()
+
+    def update(self) -> dict[str, float] | None:
+        algo = self.algorithm
+        if any(
+            len(b) < max(algo.batch_size // 4, 8) for b in algo.buffers.values()
+        ):
+            return None
+        self.family.sync_members()
+        self.target_family.sync_members()
+        batches = [
+            algo.buffers[a].sample(algo.batch_size, algo._rng)
+            for a in algo.agent_ids
+        ]
+        obs = np.array([b["obs"] for b in batches], dtype=np.float64)
+        next_obs = np.array([b["next_obs"] for b in batches], dtype=np.float64)
+        rewards = np.array([b["rewards"] for b in batches])
+        dones = np.array([b["dones"] for b in batches])
+        action_idx = np.array([b["actions"] for b in batches], dtype=np.int64)
+
+        next_q_target = self.target_family.infer(next_obs)  # (A, B, |A|)
+        if algo.double_q:
+            next_best = self.family.infer(next_obs).argmax(axis=-1)
+            next_value = np.take_along_axis(
+                next_q_target, next_best[..., None], axis=-1
+            )[..., 0]
+        else:
+            next_value = next_q_target.max(axis=-1)
+        y = rewards + algo.gamma * (1.0 - dones) * next_value
+
+        q_rows, cache = self.family.forward_cached(obs)  # (A, B, |A|)
+        q_chosen = np.take_along_axis(q_rows, action_idx, axis=-1)[..., 0]
+        diff = q_chosen - y
+        batch_rows = diff.shape[1]
+        member_losses = (diff * diff).mean(axis=1)  # (A,)
+        grad_rows = np.zeros_like(q_rows)
+        np.put_along_axis(
+            grad_rows, action_idx, (2.0 / batch_rows) * diff[..., None], axis=-1
+        )
+        self.opt.bind_grads()
+        self.family.backward_cached(cache, grad_rows)
+        clip_grad_norm_stacked(
+            [p.grad for p in self.family.params()], algo.grad_clip
+        )
+        self.opt.step()
+        soft_update_stacked(self.target_family, self.family, algo.tau)
+        return {
+            f"{agent}/q_loss": float(member_losses[k])
+            for k, agent in enumerate(algo.agent_ids)
+        }
+
+
+class _DelegatingEngine:
+    """Fallback for algorithms without an architecture-aligned fused path.
+
+    COMA trains on whole variable-length episodes, and MADDPG/MAAC couple
+    actor gradients through centralized critics — neither stacks into one
+    family forward.  Their updates still benefit from the flat optimisers
+    and the fused Linear/backward in :mod:`repro.nn`, so the engine simply
+    delegates.
+    """
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+
+    def update(self) -> dict[str, float] | None:
+        return self.algorithm.update()
+
+
+class UpdateEngine:
+    """Dispatching facade over the fused update implementations.
+
+    Accepts a :class:`~repro.core.hero.HeroTeam`, a
+    :class:`~repro.core.low_level.SACAgent` or any
+    :class:`~repro.baselines.base.MARLAlgorithm`; ``update()`` replaces the
+    target's own update call when ``--fused-updates`` is active.
+    """
+
+    def __init__(self, target):
+        from ..baselines.base import MARLAlgorithm
+        from ..baselines.idqn import IndependentDQN
+        from .hero import HeroTeam
+        from .low_level import SACAgent
+
+        if isinstance(target, HeroTeam):
+            self._impl = HeroTeamUpdateEngine(target)
+        elif isinstance(target, SACAgent):
+            self._impl = SACUpdateEngine(target)
+        elif isinstance(target, IndependentDQN):
+            self._impl = IDQNUpdateEngine(target)
+        elif isinstance(target, MARLAlgorithm):
+            self._impl = _DelegatingEngine(target)
+        else:
+            raise TypeError(
+                f"UpdateEngine cannot drive a {type(target).__name__}; expected "
+                "HeroTeam, SACAgent or MARLAlgorithm"
+            )
+        self.target = target
+
+    def update(self):
+        """Run one fused update round; mirrors the target's own update API."""
+        return self._impl.update()

@@ -100,9 +100,15 @@ def train_hero_method(
     updates_per_episode: int = 4,
     metric_prefix: str = "hero",
     num_envs: int = 1,
+    fused_updates: bool = False,
 ) -> TrainedMethod:
-    """Two-stage HERO training (Algorithm 2 then Algorithm 1)."""
-    config = TrainingConfig(seed=seed, num_envs=num_envs)
+    """Two-stage HERO training (Algorithm 2 then Algorithm 1).
+
+    ``fused_updates`` routes every gradient phase — skill SAC updates and
+    the high-level team update — through the fused
+    :class:`repro.core.update_engine.UpdateEngine` families.
+    """
+    config = TrainingConfig(seed=seed, num_envs=num_envs, fused_updates=fused_updates)
     config.scenario = scenario
     config.rewards = rewards
     config.epsilon_start = 0.4
@@ -151,6 +157,7 @@ def train_baseline_method(
     seed: int,
     updates_per_episode: int = 1,
     num_envs: int = 1,
+    fused_updates: bool = False,
     **baseline_kwargs,
 ) -> TrainedMethod:
     """Train one end-to-end baseline.
@@ -174,6 +181,7 @@ def train_baseline_method(
             seed=seed,
             updates_per_episode=updates_per_episode,
             epsilon_decay_episodes=max(episodes // 2, 1),
+            fused_updates=fused_updates,
         )
     else:
         logger = train_marl(
@@ -183,6 +191,7 @@ def train_baseline_method(
             seed=seed,
             updates_per_episode=updates_per_episode,
             epsilon_decay_episodes=max(episodes // 2, 1),
+            fused_updates=fused_updates,
         )
 
     def evaluate(eval_env, episodes, eval_seed=0):
@@ -200,6 +209,7 @@ def train_all_methods(
     scenario: ScenarioConfig | None = None,
     skill_scale: float | None = None,
     num_envs: int = 1,
+    fused_updates: bool = False,
 ) -> ExperimentResult:
     """Train HERO and the baselines on the shared scenario.
 
@@ -227,11 +237,23 @@ def train_all_methods(
     for name in methods:
         if name == "hero":
             trained = train_hero_method(
-                scenario, rewards, episodes, skill_episodes, seed, num_envs=num_envs
+                scenario,
+                rewards,
+                episodes,
+                skill_episodes,
+                seed,
+                num_envs=num_envs,
+                fused_updates=fused_updates,
             )
         else:
             trained = train_baseline_method(
-                name, scenario, rewards, episodes, seed, num_envs=num_envs
+                name,
+                scenario,
+                rewards,
+                episodes,
+                seed,
+                num_envs=num_envs,
+                fused_updates=fused_updates,
             )
         result.methods[name] = trained
     return result

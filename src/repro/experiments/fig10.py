@@ -24,9 +24,14 @@ def run_fig10(
     seed: int = 0,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    fused_updates: bool = False,
 ) -> dict:
     result = result or train_all_methods(
-        scale=scale, seed=seed, methods=["hero"], num_envs=num_envs
+        scale=scale,
+        seed=seed,
+        methods=["hero"],
+        num_envs=num_envs,
+        fused_updates=fused_updates,
     )
     logger = result.methods["hero"].logger
     curves = {}

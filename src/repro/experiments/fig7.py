@@ -28,6 +28,7 @@ def run_fig7(
     seed: int = 0,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    fused_updates: bool = False,
 ) -> dict:
     """Train all methods and collect the three Fig. 7 panels.
 
@@ -38,7 +39,9 @@ def run_fig7(
     vectorized (``evaluate_hero_vectorized`` / ``evaluate_marl_vectorized``),
     so the curves arrive at batched-rollout speed end to end.
     """
-    result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
+    result = result or train_all_methods(
+        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+    )
     panels: dict[str, dict[str, np.ndarray]] = {}
     for panel, (metric, _) in PANELS.items():
         panels[panel] = {

@@ -16,10 +16,13 @@ from .common import bench_scenario, episodes_from_scale
 from .reporting import curve_summary, print_learning_curves, shape_check
 
 
-def run_fig8(scale: float = 0.02, seed: int = 0, num_envs: int = 1) -> dict:
+def run_fig8(
+    scale: float = 0.02, seed: int = 0, num_envs: int = 1, fused_updates: bool = False
+) -> dict:
     """``num_envs`` is accepted for CLI uniformity; skill training is
-    single-agent and stays scalar."""
-    config = TrainingConfig(seed=seed)
+    single-agent and stays scalar.  ``fused_updates`` runs the SAC updates
+    through the fused twin-critic/actor engine."""
+    config = TrainingConfig(seed=seed, fused_updates=fused_updates)
     config.scenario = bench_scenario()
     episodes = episodes_from_scale(scale)
     _, logger = train_low_level_skills(config, episodes=episodes)

@@ -64,18 +64,26 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 
 def run_experiment(
-    exp_id: str, scale: float = 0.02, seed: int = 0, num_envs: int = 1
+    exp_id: str,
+    scale: float = 0.02,
+    seed: int = 0,
+    num_envs: int = 1,
+    fused_updates: bool = False,
 ) -> dict:
     """Run one experiment end to end and print its report.
 
     ``num_envs > 1`` collects every method's training rollouts — HERO's
     and the four baselines' — from that many vectorized environment copies
     and batches the interleaved greedy evaluations the same way (see
-    ``repro.envs.vector_env`` and docs/REPRODUCING.md).
+    ``repro.envs.vector_env`` and docs/REPRODUCING.md).  ``fused_updates``
+    batches every method's gradient phase through
+    ``repro.core.update_engine`` (tolerance-equivalent, not bitwise).
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
     experiment = EXPERIMENTS[exp_id]
-    outputs = experiment.run(scale=scale, seed=seed, num_envs=num_envs)
+    outputs = experiment.run(
+        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+    )
     experiment.report(outputs)
     return outputs

@@ -77,6 +77,7 @@ def run_table2(
     eval_episodes: int = 20,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    fused_updates: bool = False,
 ) -> dict:
     """Train all methods (vectorized when ``num_envs > 1``, including the
     interleaved greedy evaluations) and score each on the domain-shifted
@@ -89,7 +90,9 @@ def run_table2(
     env at a time (they are a trivial fraction of the sweep's runtime —
     the training loop dominates).
     """
-    result = result or train_all_methods(scale=scale, seed=seed, num_envs=num_envs)
+    result = result or train_all_methods(
+        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+    )
     rows = {}
     for name, trained in result.methods.items():
         env = _testbed_env_for(name, result, trained, seed + 7)

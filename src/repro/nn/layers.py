@@ -6,7 +6,7 @@ import numpy as np
 
 from . import init as initializers
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, _accumulate_unbroadcast
 
 
 class Linear(Module):
@@ -48,10 +48,33 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        weight, bias = self.weight, self.bias
+        data = x.data @ weight.data
+        if bias is not None:
+            data = data + bias.data
+
+        # Fused affine tape node: one closure for ``x W + b`` instead of a
+        # matmul node plus an add node.  The adjoint expressions mirror
+        # Tensor.__matmul__ / Tensor.__add__ exactly, so gradients are
+        # bitwise-identical to the unfused graph.
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                _accumulate_unbroadcast(
+                    x, grad @ np.swapaxes(weight.data, -1, -2), x.shape, fresh=True
+                )
+            if weight.requires_grad:
+                if x.data.ndim == 1:
+                    grad_weight = np.outer(x.data, grad)
+                else:
+                    grad_weight = np.swapaxes(x.data, -1, -2) @ grad
+                _accumulate_unbroadcast(weight, grad_weight, weight.shape, fresh=True)
+            if bias is not None and bias.requires_grad:
+                _accumulate_unbroadcast(bias, grad, bias.shape)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return Tensor._make(data, parents, backward, "linear")
 
 
 class LayerNorm(Module):
@@ -154,24 +177,35 @@ class Sequential(Module):
         activations) without building the autograd graph — the hot path of
         batched rollouts and of the no-gradient target computations inside
         updates.  Falls back to the Tensor path for any other child module.
+
+        Intermediate results are reused in place once the first layer has
+        allocated a fresh array (``owned``); np.maximum produces the same
+        bits as the np.where form of relu for all finite inputs.
         """
+        owned = False
         for module in self.children:
             if isinstance(module, Linear):
                 x = x @ module.weight.data
                 if module.bias is not None:
-                    x = x + module.bias.data
+                    x += module.bias.data
+                owned = True
             elif isinstance(module, ReLU):
-                x = np.where(x > 0, x, 0.0)
+                x = np.maximum(x, 0.0, out=x if owned else None)
+                owned = True
             elif isinstance(module, Tanh):
-                x = np.tanh(x)
+                x = np.tanh(x, out=x if owned else None)
+                owned = True
             elif isinstance(module, Sigmoid):
                 x = 1.0 / (1.0 + np.exp(-x))
+                owned = True
             elif isinstance(module, LeakyReLU):
                 x = np.where(x > 0, x, module.negative_slope * x)
+                owned = True
             elif isinstance(module, Identity):
                 pass
             else:
                 x = module(Tensor(x)).data
+                owned = False
         return x
 
     def append(self, module: Module) -> None:

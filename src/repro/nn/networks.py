@@ -236,6 +236,57 @@ class SquashedGaussianPolicy(Module):
         pre_tanh = mean + np.exp(log_std) * rng.standard_normal(mean.shape)
         return np.tanh(pre_tanh) * self._action_scale + self._action_offset
 
+    def sample_no_grad(
+        self,
+        obs: np.ndarray,
+        rng: np.random.Generator,
+        trunk_out: np.ndarray | None = None,
+        return_parts: bool = False,
+    ):
+        """Reparameterised sample and log-prob as plain arrays (no tape).
+
+        Bitwise-identical to :meth:`sample` — same noise draw, same
+        arithmetic, expression for expression — for callers that only need
+        values, e.g. the SAC critic's TD target (``tests/test_update_engine``
+        locks the equivalence).
+
+        ``trunk_out`` lets a caller that already ran the trunk (the fused
+        update engine's cached forward) reuse it; ``return_parts``
+        additionally returns the sampling intermediates needed for a
+        closed-form reparameterisation gradient, keeping this the single
+        home of the squashed-Gaussian derivation.
+        """
+        if trunk_out is None:
+            trunk_out = self.trunk.infer(np.asarray(obs, dtype=np.float64))
+        mean = trunk_out[:, : self.action_dim]
+        raw_log_std = trunk_out[:, self.action_dim :]
+        log_std = np.clip(raw_log_std, LOG_STD_MIN, LOG_STD_MAX)
+        std = np.exp(log_std)
+        noise = rng.standard_normal(mean.shape)
+        pre_tanh = mean + std * noise
+        squashed = np.tanh(pre_tanh)
+        action = squashed * self._action_scale + self._action_offset
+
+        log_prob = (
+            -0.5 * ((noise * noise) + np.log(2.0 * np.pi)) - log_std
+        ).sum(axis=-1)
+        # Stable log(1 - tanh(u)^2) = 2 * (log 2 - u - softplus(-2u)),
+        # with softplus(x) = max(x, 0) + log1p(exp(-|x|)) as in Tensor.softplus.
+        minus_2u = pre_tanh * -2.0
+        softplus = np.maximum(minus_2u, 0.0) + np.log1p(np.exp(-np.abs(minus_2u)))
+        inner = np.log(2.0) - pre_tanh - softplus
+        log_prob = log_prob - (inner * 2.0).sum(axis=-1)
+        log_prob = log_prob - float(np.sum(np.log(self._action_scale)))
+        if not return_parts:
+            return action, log_prob
+        parts = {
+            "std": std,
+            "noise": noise,
+            "squashed": squashed,
+            "clip_mask": (raw_log_std >= LOG_STD_MIN) & (raw_log_std <= LOG_STD_MAX),
+        }
+        return action, log_prob, parts
+
 
 def _tanh_log_det(pre_tanh: Tensor) -> Tensor:
     """Summed log|d tanh(u)/du| using the stable identity
@@ -285,6 +336,16 @@ class TwinQNetwork(Module):
     def min_q(self, obs, action) -> Tensor:
         q1, q2 = self.forward(obs, action)
         return q1.minimum(q2)
+
+    def min_q_inference(self, obs: np.ndarray, action: np.ndarray) -> np.ndarray:
+        """Gradient-free ``min(Q1, Q2)``, bitwise equal to ``min_q(...).data``.
+
+        The no-graph path for TD targets (the values never need gradients).
+        """
+        x = np.concatenate([obs, action], axis=-1)
+        q1 = self.q1.trunk.infer(x)[:, 0]
+        q2 = self.q2.trunk.infer(x)[:, 0]
+        return np.minimum(q1, q2)
 
 
 class DiscreteQNetwork(Module):

@@ -56,6 +56,30 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _accumulate_unbroadcast(
+    tensor: "Tensor", grad: np.ndarray, shape: tuple, fresh: bool = False
+) -> None:
+    """Accumulate ``_unbroadcast(grad, shape)`` into ``tensor``.
+
+    ``fresh`` marks ``grad`` as a newly allocated array the caller will not
+    touch again, letting :meth:`Tensor._accumulate` adopt it without a
+    copy; any reduction performed here allocates and therefore upgrades
+    the result to fresh regardless.
+    """
+    if grad.shape == shape:
+        tensor._accumulate(grad, fresh)
+        return
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+        fresh = True
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+        fresh = True
+    tensor._accumulate(grad.reshape(shape), fresh)
+
+
 class Tensor:
     """A numpy array with reverse-mode gradient support.
 
@@ -68,7 +92,7 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op", "_topo")
 
     def __init__(self, data, requires_grad: bool = False):
         self.data = _as_array(data)
@@ -77,6 +101,7 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._op = ""
+        self._topo: list[Tensor] | None = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -140,12 +165,19 @@ class Tensor:
             out._op = op
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+    def _accumulate(self, grad: np.ndarray, fresh: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``fresh=True`` promises that ``grad`` is a newly allocated array no
+        other node references, so it can be adopted in place of the
+        defensive copy — the in-place accumulation half of the fused
+        update engine.  Pass-through gradients (views, shared arrays) must
+        keep ``fresh=False``.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if fresh else grad.copy()
         else:
             self.grad += grad
 
@@ -156,8 +188,13 @@ class Tensor:
         ----------
         grad:
             Upstream gradient; defaults to ones (so scalars get ``1.0``).
+
+        The topological order is computed once per output tensor and
+        cached (the graph is immutable after construction), so repeated
+        backward passes skip the traversal.
         """
-        if grad is None:
+        fresh = grad is None
+        if fresh:
             grad = np.ones_like(self.data)
         else:
             grad = _as_array(grad)
@@ -166,24 +203,26 @@ class Tensor:
                     f"backward grad shape {grad.shape} != tensor shape {self.data.shape}"
                 )
 
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
+        if self._topo is None:
+            topo: list[Tensor] = []
+            visited: set[int] = set()
+            stack: list[tuple[Tensor, bool]] = [(self, False)]
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    topo.append(node)
+                    continue
+                if id(node) in visited:
+                    continue
+                visited.add(id(node))
+                stack.append((node, True))
+                for parent in node._parents:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+            self._topo = topo
 
-        self._accumulate(grad)
-        for node in reversed(topo):
+        self._accumulate(grad, fresh)
+        for node in reversed(self._topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
@@ -195,8 +234,8 @@ class Tensor:
         data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(grad, other.shape))
+            _accumulate_unbroadcast(self, grad, self.shape)
+            _accumulate_unbroadcast(other, grad, other.shape)
 
         return Tensor._make(data, (self, other), backward, "add")
 
@@ -208,8 +247,8 @@ class Tensor:
         data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(-grad, other.shape))
+            _accumulate_unbroadcast(self, grad, self.shape)
+            _accumulate_unbroadcast(other, -grad, other.shape, fresh=True)
 
         return Tensor._make(data, (self, other), backward, "sub")
 
@@ -221,8 +260,8 @@ class Tensor:
         data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            _accumulate_unbroadcast(self, grad * other.data, self.shape, fresh=True)
+            _accumulate_unbroadcast(other, grad * self.data, other.shape, fresh=True)
 
         return Tensor._make(data, (self, other), backward, "mul")
 
@@ -234,9 +273,9 @@ class Tensor:
         data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            _accumulate_unbroadcast(self, grad / other.data, self.shape, fresh=True)
+            _accumulate_unbroadcast(
+                other, -grad * self.data / (other.data**2), other.shape, fresh=True
             )
 
         return Tensor._make(data, (self, other), backward, "div")
@@ -246,7 +285,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, fresh=True)
 
         return Tensor._make(-self.data, (self,), backward, "neg")
 
@@ -256,7 +295,7 @@ class Tensor:
         data = self.data**exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), fresh=True)
 
         return Tensor._make(data, (self,), backward, "pow")
 
@@ -270,21 +309,23 @@ class Tensor:
                     grad_self = np.outer(grad, other.data) if grad.ndim else grad * other.data
                     if self.data.ndim == 1:
                         grad_self = grad * other.data
-                    self._accumulate(_unbroadcast(grad_self.reshape(self.shape), self.shape))
+                    _accumulate_unbroadcast(
+                        self, grad_self.reshape(self.shape), self.shape, fresh=True
+                    )
                 else:
                     grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                    self._accumulate(_unbroadcast(grad_self, self.shape))
+                    _accumulate_unbroadcast(self, grad_self, self.shape, fresh=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
                     grad_other = np.outer(self.data, grad)
                     if other.data.ndim == 1:
                         grad_other = self.data * grad
-                    other._accumulate(
-                        _unbroadcast(grad_other.reshape(other.shape), other.shape)
+                    _accumulate_unbroadcast(
+                        other, grad_other.reshape(other.shape), other.shape, fresh=True
                     )
                 else:
                     grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                    other._accumulate(_unbroadcast(grad_other, other.shape))
+                    _accumulate_unbroadcast(other, grad_other, other.shape, fresh=True)
 
         return Tensor._make(data, (self, other), backward, "matmul")
 
@@ -295,7 +336,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, fresh=True)
 
         return Tensor._make(data, (self,), backward, "exp")
 
@@ -303,7 +344,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, fresh=True)
 
         return Tensor._make(data, (self,), backward, "log")
 
@@ -311,7 +352,7 @@ class Tensor:
         data = np.sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / data)
+            self._accumulate(grad * 0.5 / data, fresh=True)
 
         return Tensor._make(data, (self,), backward, "sqrt")
 
@@ -319,7 +360,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data**2))
+            self._accumulate(grad * (1.0 - data**2), fresh=True)
 
         return Tensor._make(data, (self,), backward, "tanh")
 
@@ -327,16 +368,18 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), fresh=True)
 
         return Tensor._make(data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-        data = np.where(mask, self.data, 0.0)
+        # Same bits as np.where(mask, data, 0.0) for finite inputs, one
+        # ufunc instead of a compare + select pair.
+        data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, fresh=True)
 
         return Tensor._make(data, (self,), backward, "relu")
 
@@ -345,7 +388,7 @@ class Tensor:
         data = np.where(mask, self.data, negative_slope * self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.where(mask, 1.0, negative_slope))
+            self._accumulate(grad * np.where(mask, 1.0, negative_slope), fresh=True)
 
         return Tensor._make(data, (self,), backward, "leaky_relu")
 
@@ -355,7 +398,7 @@ class Tensor:
         sig = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sig)
+            self._accumulate(grad * sig, fresh=True)
 
         return Tensor._make(data, (self,), backward, "softplus")
 
@@ -363,7 +406,7 @@ class Tensor:
         data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), fresh=True)
 
         return Tensor._make(data, (self,), backward, "abs")
 
@@ -373,7 +416,7 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, fresh=True)
 
         return Tensor._make(data, (self,), backward, "clip")
 
@@ -383,8 +426,8 @@ class Tensor:
         take_self = self.data >= other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * take_self, self.shape))
-            other._accumulate(_unbroadcast(grad * ~take_self, other.shape))
+            _accumulate_unbroadcast(self, grad * take_self, self.shape, fresh=True)
+            _accumulate_unbroadcast(other, grad * ~take_self, other.shape, fresh=True)
 
         return Tensor._make(data, (self, other), backward, "maximum")
 
@@ -394,8 +437,8 @@ class Tensor:
         take_self = self.data <= other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * take_self, self.shape))
-            other._accumulate(_unbroadcast(grad * ~take_self, other.shape))
+            _accumulate_unbroadcast(self, grad * take_self, self.shape, fresh=True)
+            _accumulate_unbroadcast(other, grad * ~take_self, other.shape, fresh=True)
 
         return Tensor._make(data, (self, other), backward, "minimum")
 
@@ -412,7 +455,7 @@ class Tensor:
                 axes = tuple(a % self.data.ndim for a in axes)
                 for a in sorted(axes):
                     g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.shape).copy(), fresh=True)
 
         return Tensor._make(data, (self,), backward, "sum")
 
@@ -441,7 +484,7 @@ class Tensor:
             counts = mask.sum(
                 axis=axis if axis is not None else None, keepdims=True
             )
-            self._accumulate(np.broadcast_to(g, self.shape) * mask / counts)
+            self._accumulate(np.broadcast_to(g, self.shape) * mask / counts, fresh=True)
 
         return Tensor._make(data, (self,), backward, "max")
 
@@ -509,7 +552,7 @@ class Tensor:
                 return
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate(full, fresh=True)
 
         return Tensor._make(data, (self,), backward, "getitem")
 
@@ -526,7 +569,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.put_along_axis(full, indices, grad, axis=axis)
-            self._accumulate(full)
+            self._accumulate(full, fresh=True)
 
         return Tensor._make(data, (self,), backward, "gather")
 
@@ -570,8 +613,8 @@ def where(condition, a: Tensor, b: Tensor) -> Tensor:
     data = np.where(cond, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
-        a._accumulate(_unbroadcast(grad * cond, a.shape))
-        b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+        _accumulate_unbroadcast(a, grad * cond, a.shape, fresh=True)
+        _accumulate_unbroadcast(b, grad * ~cond, b.shape, fresh=True)
 
     return Tensor._make(data, (a, b), backward, "where")
 
