@@ -3,16 +3,21 @@
 
 Trains one baseline for a handful of episodes with ``--num-envs``
 vectorized env copies (the exact stack ``repro run table2 --num-envs N``
-uses), evaluates its domain-shifted Table 2 testbed cell, and then guards
-against vectorized-vs-scalar drift: a fresh pair of identically-seeded
-algorithms is trained through ``train_marl`` and
-``train_marl_vectorized(num_envs=1)`` and their metric series must be
-bit-for-bit identical.
+uses; ``--num-workers W`` shards them across worker processes exactly as
+``repro run table2 --num-workers W`` does), evaluates its domain-shifted
+Table 2 testbed cell, and then guards against drift bit-for-bit:
+
+* vectorized vs scalar — fresh identically-seeded algorithms through
+  ``train_marl`` and ``train_marl_vectorized(num_envs=1)`` must log
+  identical metric series;
+* sharded vs single-process (when ``--num-workers > 1``) — the same
+  vectorized training over a ``ShardedVectorEnv(num_envs, W)`` and a
+  single-process ``VectorEnv(num_envs)`` must log identical series.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_table2_cell.py idqn \
-        --episodes 2 --num-envs 2
+        --episodes 2 --num-envs 2 --num-workers 2
 """
 
 from __future__ import annotations
@@ -35,12 +40,20 @@ from repro.experiments.common import bench_scenario, train_baseline_method
 from repro.experiments.table2 import _FlattenShifted
 
 
-def run_cell(name: str, episodes: int, num_envs: int, seed: int) -> dict:
+def run_cell(
+    name: str, episodes: int, num_envs: int, num_workers: int, seed: int
+) -> dict:
     """Train one baseline vectorized and evaluate its Table 2 cell."""
     scenario = bench_scenario()
     rewards = RewardConfig()
     trained = train_baseline_method(
-        name, scenario, rewards, episodes=episodes, seed=seed, num_envs=num_envs
+        name,
+        scenario,
+        rewards,
+        episodes=episodes,
+        seed=seed,
+        num_envs=num_envs,
+        num_workers=num_workers,
     )
     recorded = len(trained.logger.values(f"{name}/episode_reward"))
     if recorded != episodes:
@@ -68,17 +81,43 @@ def check_drift(name: str, episodes: int, seed: int) -> None:
     algo_vec = make_baseline(name, vec_env, seed=seed, **kwargs)
     log_vec = train_marl_vectorized(vec_env, algo_vec, episodes=episodes, seed=seed)
 
-    if log_scalar.names() != log_vec.names():
+    _assert_logs_equal(name, "vectorized-vs-scalar", log_scalar, log_vec)
+
+
+def _assert_logs_equal(name: str, what: str, log_a, log_b) -> None:
+    if log_a.names() != log_b.names():
         raise SystemExit(
-            f"{name}: metric names drifted: "
-            f"{sorted(set(log_scalar.names()) ^ set(log_vec.names()))}"
+            f"{name}: metric names drifted ({what}): "
+            f"{sorted(set(log_a.names()) ^ set(log_b.names()))}"
         )
-    for metric in log_scalar.names():
-        if not np.array_equal(log_scalar.values(metric), log_vec.values(metric)):
+    for metric in log_a.names():
+        if not np.array_equal(log_a.values(metric), log_b.values(metric)):
             raise SystemExit(
-                f"{name}: vectorized-vs-scalar drift in {metric}: "
-                f"{log_scalar.values(metric)} != {log_vec.values(metric)}"
+                f"{name}: {what} drift in {metric}: "
+                f"{log_a.values(metric)} != {log_b.values(metric)}"
             )
+
+
+def check_shard_drift(
+    name: str, episodes: int, num_envs: int, num_workers: int, seed: int
+) -> None:
+    """Sharded training must match the single-process cell bit-for-bit."""
+    scenario = bench_scenario()
+    kwargs = {"batch_size": 16} if name != "coma" else {}
+
+    def train(workers: int):
+        vec_env = make_baseline_vector_env(
+            num_envs, scenario=scenario, num_workers=workers
+        )
+        algo = make_baseline(name, vec_env, seed=seed, **kwargs)
+        try:
+            return train_marl_vectorized(vec_env, algo, episodes=episodes, seed=seed)
+        finally:
+            vec_env.close()
+
+    _assert_logs_equal(
+        name, f"sharded(W={num_workers})-vs-single-process", train(1), train(num_workers)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,15 +125,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("baseline", choices=sorted(BASELINES))
     parser.add_argument("--episodes", type=int, default=2)
     parser.add_argument("--num-envs", type=int, default=2)
+    parser.add_argument("--num-workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    metrics = run_cell(args.baseline, args.episodes, args.num_envs, args.seed)
+    metrics = run_cell(
+        args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed
+    )
     row = " ".join(f"{key}={value:.4f}" for key, value in sorted(metrics.items()))
-    print(f"table2[{args.baseline}] (num_envs={args.num_envs}): {row}")
+    print(
+        f"table2[{args.baseline}] (num_envs={args.num_envs}, "
+        f"num_workers={args.num_workers}): {row}"
+    )
 
     check_drift(args.baseline, args.episodes, args.seed)
     print(f"table2[{args.baseline}]: num_envs=1 vectorized == scalar (no drift)")
+    if args.num_workers > 1:
+        check_shard_drift(
+            args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed
+        )
+        print(
+            f"table2[{args.baseline}]: num_workers={args.num_workers} sharded "
+            "== single-process (no drift)"
+        )
     return 0
 
 

@@ -247,7 +247,10 @@ def train_marl_vectorized(
     ``VectorBaselineEnv`` (the training one holds live mid-episode state)
     through :func:`evaluate_marl_vectorized`, over ``eval_num_envs`` env
     copies — default: the training batch size capped at ``eval_episodes``
-    (extra envs would roll out episodes that are never scored).
+    (extra envs would roll out episodes that are never scored).  The
+    evaluation env stays single-process even when training steps through
+    sharded worker processes: its batch is too small to amortise worker
+    dispatch, and results are bit-for-bit identical either way.
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
@@ -263,18 +266,58 @@ def train_marl_vectorized(
 
         if eval_num_envs is None:
             eval_num_envs = max(min(vec_env.num_envs, eval_episodes), 1)
+        # The eval batch is capped at eval_episodes (tiny), where
+        # multi-process dispatch costs more than the shard work — keep
+        # interleaved evals single-process even when training is sharded
+        # (bit-for-bit identical either way; evaluate_marl_vectorized
+        # accepts a sharded env when a caller builds one).
         eval_vec_env = make_baseline_vector_env(
             eval_num_envs, scenario=vec_env.scenario, rewards=vec_env.rewards
         )
     if not vec_env.fast_path:
         warnings.warn(
             "VectorBaselineEnv is stepping on the scalar fallback "
-            f"({vec_env.fallback_reason}); training is correct but not "
-            "vectorized",
+            f"({vec_env.fallback_reason}); training is correct but "
+            "--num-envs/--num-workers will not speed it up",
             RuntimeWarning,
             stacklevel=2,
         )
 
+    try:
+        return _train_marl_vectorized_loop(
+            vec_env,
+            algorithm,
+            episodes,
+            seed,
+            epsilon_schedule,
+            updates_per_episode,
+            logger,
+            prefix,
+            eval_every,
+            eval_episodes,
+            eval_vec_env,
+            update_fn,
+        )
+    finally:
+        if eval_vec_env is not None:
+            eval_vec_env.close()
+
+
+def _train_marl_vectorized_loop(
+    vec_env,
+    algorithm: MARLAlgorithm,
+    episodes: int,
+    seed: int,
+    epsilon_schedule,
+    updates_per_episode: int,
+    logger: MetricLogger,
+    prefix: str,
+    eval_every: int | None,
+    eval_episodes: int,
+    eval_vec_env,
+    update_fn,
+) -> MetricLogger:
+    """The rollout/update/logging loop of :func:`train_marl_vectorized`."""
     n = vec_env.num_envs
     reset_seeds = episode_reset_seeds(seed, max(episodes, n))
     episode_of_env = np.arange(n)

@@ -33,14 +33,33 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _show_fallback_warnings() -> None:
+    """Always surface vectorization-fallback RuntimeWarnings on the CLI.
+
+    The training loops warn (once per call site by default) when a config
+    falls off the VectorEnv fast path; a sweep runs many loops, so force
+    every occurrence of that specific warning through — users asking for
+    --num-envs/--num-workers should see exactly why those flags are not
+    helping.  Scoped by message so unrelated RuntimeWarnings keep the
+    default once-per-location behaviour.
+    """
+    import warnings
+
+    warnings.filterwarnings(
+        "always", category=RuntimeWarning, message=r".*scalar fallback"
+    )
+
+
 def _cmd_run(args) -> int:
     from .experiments import run_experiment
 
+    _show_fallback_warnings()
     run_experiment(
         args.experiment,
         scale=args.scale,
         seed=args.seed,
         num_envs=args.num_envs,
+        num_workers=args.num_workers,
         fused_updates=args.fused_updates,
     )
     return 0
@@ -49,6 +68,7 @@ def _cmd_run(args) -> int:
 def _cmd_run_all(args) -> int:
     from .experiments import EXPERIMENTS, run_experiment
 
+    _show_fallback_warnings()
     for exp_id in sorted(EXPERIMENTS):
         print(f"\n######## {exp_id} ########")
         run_experiment(
@@ -56,6 +76,7 @@ def _cmd_run_all(args) -> int:
             scale=args.scale,
             seed=args.seed,
             num_envs=args.num_envs,
+            num_workers=args.num_workers,
             fused_updates=args.fused_updates,
         )
     return 0
@@ -111,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--num-workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes the vectorized env batch is sharded across "
+            "(envs.sharded_env.ShardedVectorEnv; applies when --num-envs > 1; "
+            "bit-for-bit equal to single-process stepping at any count)"
+        ),
+    )
+    run.add_argument(
         "--fused-updates",
         action="store_true",
         help=(
@@ -132,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "vectorized env copies for training AND the interleaved greedy "
             "evaluations, for HERO and all four baselines (1 = scalar loops)"
+        ),
+    )
+    run_all.add_argument(
+        "--num-workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes the vectorized env batch is sharded across "
+            "(envs.sharded_env.ShardedVectorEnv; applies when --num-envs > 1; "
+            "bit-for-bit equal to single-process stepping at any count)"
         ),
     )
     run_all.add_argument(

@@ -1,10 +1,13 @@
 """Batched policy inference for vectorized rollouts.
 
 :class:`BatchedHeroRunner` drives one :class:`~repro.core.hero.HeroTeam`
-across the ``N`` environments of a
-:class:`~repro.envs.vector_env.VectorEnv`.  Where the scalar team loops
-Python per agent per env, the runner flattens everything into stacked
-arrays:
+across the ``N`` environments of any
+:class:`~repro.envs.stepping.VectorStepper` — the single-process
+:class:`~repro.envs.vector_env.VectorEnv` or the multi-process
+:class:`~repro.envs.sharded_env.ShardedVectorEnv` (the runner only uses
+the shared stepping surface, so the engines are interchangeable).  Where
+the scalar team loops Python per agent per env, the runner flattens
+everything into stacked arrays:
 
 * low-level skill execution runs one ``(N, obs_dim)`` forward pass per
   (agent, skill) pair — batched over environments, with the per-agent
@@ -16,10 +19,10 @@ arrays:
   option just terminated through one actor forward,
 * opponent intention inference goes through the opponent model's batched
   ``predict_probs_batch`` instead of per-env single-row calls,
-* steering controllers read the exact vehicle pose from
-  :attr:`VectorEnv.agent_d` / :attr:`VectorEnv.agent_heading` instead of
-  un-normalising the feature vector (bit-identical to the scalar
-  controllers, which read ``vehicle.state`` directly).
+* steering controllers read the exact vehicle pose from the stepper's
+  ``agent_d`` / ``agent_heading`` arrays instead of un-normalising the
+  feature vector (bit-identical to the scalar controllers, which read
+  ``vehicle.state`` directly).
 
 Semantics match the scalar :class:`~repro.core.hero.HeroAgent` option
 machinery (asynchronous termination, SMDP transition accounting, the
@@ -42,7 +45,7 @@ import numpy as np
 
 from ..config import OptionBounds
 from ..envs.control import HEADING_CAP, HEADING_GAIN
-from ..envs.vector_env import VectorEnv
+from ..envs.stepping import VectorStepper
 from ..nn import one_hot, sample_categorical
 from ..training.replay import OptionTransition
 from .hero import HeroTeam
@@ -55,7 +58,7 @@ __all__ = ["BatchedHeroRunner"]
 class BatchedHeroRunner:
     """Vectorized acting/learning plumbing for one team over N envs."""
 
-    def __init__(self, team: HeroTeam, vec_env: VectorEnv):
+    def __init__(self, team: HeroTeam, vec_env: VectorStepper):
         if vec_env.scenario.observation_mode != "features":
             raise ValueError(
                 "BatchedHeroRunner requires observation_mode='features'"
@@ -83,7 +86,7 @@ class BatchedHeroRunner:
         self.num_options = self.option_set.num_options
         self.num_opponents = self.num_agents - 1
 
-        track = vec_env.envs[0].track
+        track = vec_env.track
         self._track = track
         self._lane_centers = np.array(
             [track.lane_center(lane) for lane in range(track.num_lanes)]
@@ -101,7 +104,7 @@ class BatchedHeroRunner:
                     "availability mask and cannot evaluate state-dependent "
                     "initiation sets — use the scalar rollout loop"
                 )
-        probe = vec_env.envs[0].vehicle(self.agents[0])
+        probe = vec_env.template_env.vehicle(self.agents[0])
         self._available = np.array(
             [option.can_initiate(probe) for option in self.option_set]
         )
@@ -175,7 +178,7 @@ class BatchedHeroRunner:
         env can sit at a different point of the exploration schedule).
         Returns actions of shape ``(num_envs, num_agents, 2)``.
         """
-        high = VectorEnv.flatten_high(obs)  # (n, a, Dh)
+        high = VectorStepper.flatten_high(obs)  # (n, a, Dh)
         lane = obs["lane_onehot"].argmax(axis=-1)  # (n, a)
         epsilon = np.broadcast_to(np.asarray(epsilon, dtype=np.float64), (self.num_envs,))
 
@@ -381,7 +384,7 @@ class BatchedHeroRunner:
         Returns one stats dict per env that finished an episode this step
         (episode summary plus the env's lane-change counters).
         """
-        next_high = VectorEnv.flatten_high(next_obs)  # reset obs for done envs
+        next_high = VectorStepper.flatten_high(next_obs)  # reset obs for done envs
         done_idx = np.flatnonzero(dones)
         terminal_high = next_high.copy()
         for i in done_idx:

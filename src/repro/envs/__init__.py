@@ -6,8 +6,10 @@ from .geometry import RingTrack, StraightTrack, Track, make_track
 from .lane_change_env import CooperativeLaneChangeEnv
 from .render import print_episode, render_episode_frames, render_scene
 from .sensors import Lidar, PseudoCamera, feature_dim, feature_vector
+from .sharded_env import EnvReplicaFactory, ShardedVectorEnv
 from .skill_envs import LaneChangeEnv, LaneKeepingEnv, low_level_obs_dim
 from .spaces import Box, DictSpace, Discrete, Space
+from .stepping import VectorStepper
 from .testbed import RealWorldTestbed
 from .traffic import (
     LaneKeepingCruiser,
@@ -31,6 +33,7 @@ __all__ = [
     "DictSpace",
     "Discrete",
     "DiscreteActionWrapper",
+    "EnvReplicaFactory",
     "FlattenObservationWrapper",
     "LaneChangeEnv",
     "LaneKeepingCruiser",
@@ -41,6 +44,7 @@ __all__ = [
     "RealWorldTestbed",
     "RingTrack",
     "ScriptedPolicy",
+    "ShardedVectorEnv",
     "SingleAgentEnv",
     "SlowLeader",
     "Space",
@@ -49,6 +53,7 @@ __all__ = [
     "Track",
     "VectorBaselineEnv",
     "VectorEnv",
+    "VectorStepper",
     "Vehicle",
     "VehicleState",
     "feature_dim",

@@ -63,10 +63,9 @@ import numpy as np
 from ..config import RewardConfig, ScenarioConfig
 from ..utils.math_utils import wrap_angle
 from .lane_change_env import CooperativeLaneChangeEnv
+from .stepping import ObsBatch, VectorStepper
 from .traffic import LaneKeepingCruiser, ScriptedPolicy, SlowLeader, StationaryObstacle
 from .vehicle import MAX_HEADING_ERROR
-
-ObsBatch = dict[str, np.ndarray]
 
 
 def _scripted_policy_params(policy: ScriptedPolicy) -> tuple:
@@ -78,8 +77,13 @@ def _scripted_policy_params(policy: ScriptedPolicy) -> tuple:
     return ()
 
 
-class VectorEnv:
-    """Synchronous batch of ``N`` cooperative lane-change environments."""
+class VectorEnv(VectorStepper):
+    """Synchronous batch of ``N`` cooperative lane-change environments.
+
+    Implements the :class:`~repro.envs.stepping.VectorStepper` surface
+    in-process; :class:`~repro.envs.sharded_env.ShardedVectorEnv` is the
+    multi-process drop-in substitute.
+    """
 
     def __init__(
         self,
@@ -218,6 +222,21 @@ class VectorEnv:
         """
         return self._envs
 
+    @property
+    def track(self):
+        """Shared track geometry (identical across the batch; read-only)."""
+        return self._envs[0].track
+
+    @property
+    def template_env(self) -> CooperativeLaneChangeEnv:
+        """A live scalar env for static probing (interface contract).
+
+        Consumers such as :class:`~repro.core.batched.BatchedHeroRunner`
+        read option-initiation predicates and vehicle constants from it;
+        they must never step it.
+        """
+        return self._envs[0]
+
     def _allocate_state(self) -> None:
         cfg = self.scenario
         n, a = self.num_envs, self.num_agents
@@ -306,16 +325,7 @@ class VectorEnv:
         ``seeds`` may be None (each env continues its own RNG stream), one
         int (env ``i`` gets ``seeds + i``), or one seed per env.
         """
-        if seeds is None:
-            seed_list: list[int | None] = [None] * self.num_envs
-        elif isinstance(seeds, (int, np.integer)):
-            seed_list = [int(seeds) + i for i in range(self.num_envs)]
-        else:
-            if len(seeds) != self.num_envs:
-                raise ValueError(
-                    f"expected {self.num_envs} seeds, got {len(seeds)}"
-                )
-            seed_list = [None if s is None else int(s) for s in seeds]
+        seed_list = self._normalize_seeds(seeds)
         per_env = []
         for i, (env, seed) in enumerate(zip(self._envs, seed_list)):
             per_env.append(env.reset(seed=seed))
@@ -685,19 +695,6 @@ class VectorEnv:
             "length": float(self._t[i]),
         }
 
-    # ------------------------------------------------------------------
-    # Flattening helpers (stacked counterparts of the scalar staticmethods)
-    # ------------------------------------------------------------------
-    @staticmethod
-    def flatten_high(obs: ObsBatch) -> np.ndarray:
-        """Stacked s_h = [lidar, speed, laneID]; shape (num_envs, agents, Dh)."""
-        return np.concatenate([obs["lidar"], obs["speed"], obs["lane_onehot"]], axis=-1)
-
-    @staticmethod
-    def flatten_low(obs: ObsBatch) -> np.ndarray:
-        """Stacked s_l = [features, speed, laneID]; shape (num_envs, agents, Dl)."""
-        if "features" not in obs:
-            raise KeyError("low-level flat obs requires observation_mode='features'")
-        return np.concatenate(
-            [obs["features"], obs["speed"], obs["lane_onehot"]], axis=-1
-        )
+    # The flatten_high / flatten_low staticmethods are inherited from
+    # VectorStepper (repro.envs.stepping) so both stepping engines and all
+    # consumers share one observation layout definition.

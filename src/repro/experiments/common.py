@@ -29,7 +29,7 @@ from ..core import HeroTeam, train_hero, train_low_level_skills
 from ..core.trainer import evaluate_hero, evaluate_hero_vectorized
 from ..envs import (
     CooperativeLaneChangeEnv,
-    VectorEnv,
+    VectorStepper,
     make_baseline_env,
     make_baseline_vector_env,
 )
@@ -57,8 +57,9 @@ class TrainedMethod:
     ``evaluate(env, episodes, seed)`` runs a greedy evaluation of the
     trained controller.  ``env`` may be the method's scalar evaluation
     stack (any wrapper, e.g. the Table 2 domain-shifted testbed) or a
-    vectorized one — a :class:`~repro.envs.vector_env.VectorEnv` for HERO,
-    a :class:`~repro.envs.wrappers.VectorBaselineEnv` for the baselines —
+    vectorized one — any :class:`~repro.envs.stepping.VectorStepper`
+    (``VectorEnv`` or the multi-process ``ShardedVectorEnv``) for HERO, a
+    :class:`~repro.envs.wrappers.VectorBaselineEnv` for the baselines —
     in which case episodes are batched through the vectorized evaluators
     (bit-for-bit equal to scalar at one env, ~episode-parallel otherwise).
     """
@@ -100,6 +101,7 @@ def train_hero_method(
     updates_per_episode: int = 4,
     metric_prefix: str = "hero",
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> TrainedMethod:
     """Two-stage HERO training (Algorithm 2 then Algorithm 1).
@@ -107,8 +109,15 @@ def train_hero_method(
     ``fused_updates`` routes every gradient phase — skill SAC updates and
     the high-level team update — through the fused
     :class:`repro.core.update_engine.UpdateEngine` families.
+    ``num_workers > 1`` shards the vectorized rollout batch across worker
+    processes (applies when ``num_envs > 1``).
     """
-    config = TrainingConfig(seed=seed, num_envs=num_envs, fused_updates=fused_updates)
+    config = TrainingConfig(
+        seed=seed,
+        num_envs=num_envs,
+        num_workers=num_workers,
+        fused_updates=fused_updates,
+    )
     config.scenario = scenario
     config.rewards = rewards
     config.epsilon_start = 0.4
@@ -135,6 +144,7 @@ def train_hero_method(
         updates_per_episode=updates_per_episode,
         metric_prefix=metric_prefix,
         num_envs=num_envs,
+        num_workers=num_workers,
     )
     # Keep the skill curves available to Fig. 8.
     for name in skill_logger.names():
@@ -142,7 +152,7 @@ def train_hero_method(
             logger.log(name, value, int(step))
 
     def evaluate(eval_env, episodes, eval_seed=0):
-        if isinstance(eval_env, VectorEnv):
+        if isinstance(eval_env, VectorStepper):
             return evaluate_hero_vectorized(eval_env, team, episodes, seed=eval_seed)
         return evaluate_hero(eval_env, team, episodes, seed=eval_seed)
 
@@ -157,6 +167,7 @@ def train_baseline_method(
     seed: int,
     updates_per_episode: int = 1,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
     **baseline_kwargs,
 ) -> TrainedMethod:
@@ -168,21 +179,27 @@ def train_baseline_method(
     interleaved greedy evaluations batched the same way
     (:func:`~repro.baselines.base.evaluate_marl_vectorized`);
     ``num_envs == 1`` keeps the scalar loop (the two are metric-identical
-    at one env).
+    at one env).  ``num_workers > 1`` shards the vectorized batch across
+    worker processes; the pool is shut down before returning.
     """
     env = make_baseline_env(scenario=scenario, rewards=rewards)
     algo = make_baseline(name, env, seed=seed, **baseline_kwargs)
     if num_envs > 1:
-        vec_env = make_baseline_vector_env(num_envs, scenario=scenario, rewards=rewards)
-        logger = train_marl_vectorized(
-            vec_env,
-            algo,
-            episodes=episodes,
-            seed=seed,
-            updates_per_episode=updates_per_episode,
-            epsilon_decay_episodes=max(episodes // 2, 1),
-            fused_updates=fused_updates,
+        vec_env = make_baseline_vector_env(
+            num_envs, scenario=scenario, rewards=rewards, num_workers=num_workers
         )
+        try:
+            logger = train_marl_vectorized(
+                vec_env,
+                algo,
+                episodes=episodes,
+                seed=seed,
+                updates_per_episode=updates_per_episode,
+                epsilon_decay_episodes=max(episodes // 2, 1),
+                fused_updates=fused_updates,
+            )
+        finally:
+            vec_env.close()
     else:
         logger = train_marl(
             env,
@@ -209,6 +226,7 @@ def train_all_methods(
     scenario: ScenarioConfig | None = None,
     skill_scale: float | None = None,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> ExperimentResult:
     """Train HERO and the baselines on the shared scenario.
@@ -219,7 +237,10 @@ def train_all_methods(
     collects every method's rollouts — HERO's and the four baselines' —
     from that many vectorized env copies with batched policy inference,
     and batches the interleaved greedy evaluations (the Fig. 7 curves)
-    the same way.
+    the same way.  ``num_workers > 1`` additionally shards each method's
+    env batch across that many worker processes
+    (:class:`~repro.envs.sharded_env.ShardedVectorEnv`) — results are
+    bit-for-bit identical at any worker count.
     """
     methods = methods or METHOD_NAMES
     scenario = scenario or bench_scenario()
@@ -243,6 +264,7 @@ def train_all_methods(
                 skill_episodes,
                 seed,
                 num_envs=num_envs,
+                num_workers=num_workers,
                 fused_updates=fused_updates,
             )
         else:
@@ -253,6 +275,7 @@ def train_all_methods(
                 episodes,
                 seed,
                 num_envs=num_envs,
+                num_workers=num_workers,
                 fused_updates=fused_updates,
             )
         result.methods[name] = trained

@@ -24,6 +24,7 @@ def run_fig10(
     seed: int = 0,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> dict:
     result = result or train_all_methods(
@@ -31,6 +32,7 @@ def run_fig10(
         seed=seed,
         methods=["hero"],
         num_envs=num_envs,
+        num_workers=num_workers,
         fused_updates=fused_updates,
     )
     logger = result.methods["hero"].logger

@@ -20,10 +20,15 @@ def run_fig11(
     eval_episodes: int = 10,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> dict:
     result = result or train_all_methods(
-        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+        scale=scale,
+        seed=seed,
+        num_envs=num_envs,
+        num_workers=num_workers,
+        fused_updates=fused_updates,
     )
     speeds = {}
     collisions = {}

@@ -28,6 +28,7 @@ def run_fig7(
     seed: int = 0,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> dict:
     """Train all methods and collect the three Fig. 7 panels.
@@ -37,10 +38,16 @@ def run_fig7(
     series remain available in each method's logger.  With ``num_envs > 1``
     both training rollouts and these interleaved evaluations run
     vectorized (``evaluate_hero_vectorized`` / ``evaluate_marl_vectorized``),
-    so the curves arrive at batched-rollout speed end to end.
+    so the curves arrive at batched-rollout speed end to end; with
+    ``num_workers > 1`` the env batch additionally steps across that many
+    worker processes.
     """
     result = result or train_all_methods(
-        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+        scale=scale,
+        seed=seed,
+        num_envs=num_envs,
+        num_workers=num_workers,
+        fused_updates=fused_updates,
     )
     panels: dict[str, dict[str, np.ndarray]] = {}
     for panel, (metric, _) in PANELS.items():

@@ -17,11 +17,15 @@ from .reporting import curve_summary, print_learning_curves, shape_check
 
 
 def run_fig8(
-    scale: float = 0.02, seed: int = 0, num_envs: int = 1, fused_updates: bool = False
+    scale: float = 0.02,
+    seed: int = 0,
+    num_envs: int = 1,
+    num_workers: int = 1,
+    fused_updates: bool = False,
 ) -> dict:
-    """``num_envs`` is accepted for CLI uniformity; skill training is
-    single-agent and stays scalar.  ``fused_updates`` runs the SAC updates
-    through the fused twin-critic/actor engine."""
+    """``num_envs``/``num_workers`` are accepted for CLI uniformity; skill
+    training is single-agent and stays scalar.  ``fused_updates`` runs the
+    SAC updates through the fused twin-critic/actor engine."""
     config = TrainingConfig(seed=seed, fused_updates=fused_updates)
     config.scenario = bench_scenario()
     episodes = episodes_from_scale(scale)

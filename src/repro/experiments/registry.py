@@ -68,6 +68,7 @@ def run_experiment(
     scale: float = 0.02,
     seed: int = 0,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> dict:
     """Run one experiment end to end and print its report.
@@ -75,15 +76,22 @@ def run_experiment(
     ``num_envs > 1`` collects every method's training rollouts — HERO's
     and the four baselines' — from that many vectorized environment copies
     and batches the interleaved greedy evaluations the same way (see
-    ``repro.envs.vector_env`` and docs/REPRODUCING.md).  ``fused_updates``
-    batches every method's gradient phase through
-    ``repro.core.update_engine`` (tolerance-equivalent, not bitwise).
+    ``repro.envs.vector_env`` and docs/REPRODUCING.md).  ``num_workers >
+    1`` shards those env copies across worker processes
+    (``repro.envs.sharded_env``) — bit-for-bit identical results at any
+    worker count.  ``fused_updates`` batches every method's gradient
+    phase through ``repro.core.update_engine`` (tolerance-equivalent, not
+    bitwise).
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
     experiment = EXPERIMENTS[exp_id]
     outputs = experiment.run(
-        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+        scale=scale,
+        seed=seed,
+        num_envs=num_envs,
+        num_workers=num_workers,
+        fused_updates=fused_updates,
     )
     experiment.report(outputs)
     return outputs

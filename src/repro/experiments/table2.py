@@ -77,11 +77,12 @@ def run_table2(
     eval_episodes: int = 20,
     result: ExperimentResult | None = None,
     num_envs: int = 1,
+    num_workers: int = 1,
     fused_updates: bool = False,
 ) -> dict:
-    """Train all methods (vectorized when ``num_envs > 1``, including the
-    interleaved greedy evaluations) and score each on the domain-shifted
-    testbed.
+    """Train all methods (vectorized when ``num_envs > 1``, sharded across
+    worker processes when ``num_workers > 1``, including the interleaved
+    greedy evaluations) and score each on the domain-shifted testbed.
 
     The final Table 2 evaluation itself stays scalar regardless of
     ``num_envs``: :class:`~repro.envs.testbed.RealWorldTestbed` injects
@@ -91,7 +92,11 @@ def run_table2(
     the training loop dominates).
     """
     result = result or train_all_methods(
-        scale=scale, seed=seed, num_envs=num_envs, fused_updates=fused_updates
+        scale=scale,
+        seed=seed,
+        num_envs=num_envs,
+        num_workers=num_workers,
+        fused_updates=fused_updates,
     )
     rows = {}
     for name, trained in result.methods.items():
