@@ -1,0 +1,136 @@
+"""Async actor–learner overlap scaling + shared-memory plumbing cost.
+
+Not a paper table — this is the scaling guard for the async training
+stack added by ISSUE 6.  The contract: with ``N = 32`` envs and a
+staleness budget of 2 rounds, HERO training on the actor–learner stack
+(``--async-actors``) must sustain **at least 1.3x** the episodes/sec of
+the synchronous vectorized loop, because rollout collection in the actor
+process overlaps the learner's gradient phase instead of alternating
+with it.
+
+Overlap needs real parallelism, so the ratio is only measurable where
+the two processes can run side by side: the hard assertion is skipped on
+CI runners (shared, noisy; regressions are caught by the perf-gate job)
+and on hosts with fewer than four usable CPUs, mirroring
+``bench_sharded_rollout.py``.  Bitwise lockstep equivalence is locked
+separately by ``tests/test_actor_learner.py``.
+
+``test_actor_learner_roundtrip`` records the per-round cost of the
+shared-memory plumbing itself — one parameter-snapshot publish/read plus
+one transition-payload put/get — which feeds the CI perf gate
+(``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.config import ScenarioConfig, TrainingConfig
+from repro.core import HeroTeam, train_hero
+from repro.distributed import (
+    ParameterServer,
+    RolloutPayload,
+    ShmRingQueue,
+    encode_rng_state,
+)
+from repro.envs import CooperativeLaneChangeEnv
+from repro.envs.sharded_env import _usable_cpus
+
+N_ENVS = 32
+EPISODES = int(os.environ.get("REPRO_BENCH_ASYNC_EPISODES", "12"))
+TARGET_SPEEDUP = 1.3
+MAX_STALENESS = 2
+
+
+def _hero_train_time(async_actors: bool) -> float:
+    """Wall-clock seconds for one short HERO training run at N_ENVS."""
+    scenario = ScenarioConfig(episode_length=30)
+    config = TrainingConfig(seed=0)
+    config.scenario = scenario
+    env = CooperativeLaneChangeEnv(scenario=scenario)
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=128)
+    start = time.perf_counter()
+    train_hero(
+        env,
+        team,
+        episodes=EPISODES,
+        config=config,
+        num_envs=N_ENVS,
+        eval_every=0,
+        updates_per_episode=4,
+        async_actors=async_actors,
+        max_staleness=MAX_STALENESS if async_actors else 0,
+    )
+    return time.perf_counter() - start
+
+
+def test_async_overlap_speedup():
+    """The ISSUE 6 acceptance check: >= 1.3x at N=32, staleness budget 2.
+
+    Hard assertion only where overlap is physically possible and
+    measurable: not on shared CI runners and not on hosts with fewer
+    than four usable CPUs (the actor and learner would time-slice one
+    core and measure scheduler overhead instead of overlap).
+    """
+    cpus = _usable_cpus()
+    enforce = not os.environ.get("CI") and cpus >= 4
+    sync_time = min(_hero_train_time(False) for _ in range(2))
+    async_time = min(_hero_train_time(True) for _ in range(2))
+    speedup = sync_time / async_time
+    print(
+        f"\nN={N_ENVS} envs, {EPISODES} episodes, usable CPUs={cpus}: "
+        f"sync {sync_time:.2f}s | async(staleness={MAX_STALENESS}) "
+        f"{async_time:.2f}s ({speedup:.2f}x)"
+    )
+    if not enforce:
+        print(
+            f"report-only: CI={bool(os.environ.get('CI'))}, {cpus} usable CPUs "
+            f"(hard {TARGET_SPEEDUP}x assertion needs a local >=4-CPU host)"
+        )
+        return
+    assert speedup >= TARGET_SPEEDUP, (
+        f"async actor-learner only {speedup:.2f}x over the synchronous loop "
+        f"at N={N_ENVS} (need >= {TARGET_SPEEDUP}x)"
+    )
+
+
+def test_actor_learner_roundtrip(benchmark):
+    """One snapshot publish/read + payload put/get for the perf gate.
+
+    Sizes mirror a real HERO round: a ~100k-parameter flat snapshot with
+    8 RNG sidecar slots through the double-buffered parameter server,
+    and a ~64KB transition payload through the shared-memory ring.  The
+    mean tracks the per-round plumbing overhead the async stack adds on
+    top of collection and updates (serialisation, copies, seqlock).
+    """
+    vectors = {
+        "actors": np.random.default_rng(0).standard_normal(100_000),
+        "opponents": np.random.default_rng(1).standard_normal(30_000),
+    }
+    rng = np.random.default_rng(2)
+    rng_words = np.stack([encode_rng_state(rng)] * 8)
+    server = ParameterServer(
+        {name: vec.size for name, vec in vectors.items()}, num_rngs=8
+    )
+    queue = ShmRingQueue(capacity=8 << 20)
+    payload = RolloutPayload(
+        round_index=0,
+        version_used=0,
+        data={"events": np.zeros((64, 128)), "stats": np.zeros(64)},
+        rng_states=rng_words,
+    )
+
+    def cycle():
+        version = server.publish(vectors, rng_words)
+        server.read(min_version=version, timeout=5.0)
+        queue.put(payload)
+        queue.get(timeout=5.0)
+
+    try:
+        benchmark(cycle)
+    finally:
+        queue.release()
+        server.release()

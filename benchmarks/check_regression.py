@@ -34,9 +34,11 @@ from pathlib import Path
 # The hot-path guards: one scalar env step, one optimiser-in-the-loop MLP
 # step, one vectorized env step, one batched baseline act/step/observe
 # cycle, one batched greedy-evaluation act/step cycle, one fused update
-# round (HERO team + skill + IDQN through core.update_engine), and one
+# round (HERO team + skill + IDQN through core.update_engine), one
 # sharded multi-process env step (N=32 over 2 workers: shared-memory
-# round trip + dispatch overhead).  Names match pytest node names.
+# round trip + dispatch overhead), and one async actor-learner round trip
+# (parameter-snapshot publish/read + transition-payload put/get through
+# the shared-memory plumbing).  Names match pytest node names.
 GATED_BENCHMARKS = (
     "test_env_step_throughput",
     "test_mlp_forward_backward",
@@ -45,6 +47,7 @@ GATED_BENCHMARKS = (
     "test_eval_vector_cycle",
     "test_update_engine_cycle",
     "test_sharded_env_step",
+    "test_actor_learner_roundtrip",
 )
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
 DEFAULT_THRESHOLD = 0.30

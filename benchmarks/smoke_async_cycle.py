@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""CI smoke: async actor–learner cycles with bitwise lockstep drift checks.
+
+Runs HERO (``train_hero``) and IDQN (``train_marl_vectorized``) for a
+handful of episodes on the async actor–learner stack — the exact stack
+``repro run ... --async-actors`` uses — and guards its equivalence
+contract:
+
+* lockstep (``max_staleness=0``): the async run must log metric series
+  **bit-for-bit identical** to the synchronous vectorized loop, for the
+  plain and the fused-update gradient paths;
+* staleness mode (``--max-staleness > 0``): the run must complete the
+  full episode budget and log a ``snapshot_staleness`` series bounded by
+  the budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_async_cycle.py \
+        --episodes 3 --num-envs 2 --max-staleness 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines import make_baseline, train_marl_vectorized
+from repro.config import ScenarioConfig, TrainingConfig
+from repro.core import HeroTeam, train_hero
+from repro.envs import CooperativeLaneChangeEnv, make_baseline_vector_env
+
+SCENARIO = ScenarioConfig(episode_length=10)
+
+
+def _hero_logger(
+    episodes: int,
+    num_envs: int,
+    seed: int,
+    *,
+    async_actors: bool,
+    fused: bool = False,
+    max_staleness: int = 0,
+):
+    config = TrainingConfig(seed=seed)
+    config.scenario = SCENARIO
+    env = CooperativeLaneChangeEnv(scenario=SCENARIO)
+    team = HeroTeam(env, np.random.default_rng(seed), batch_size=32)
+    return train_hero(
+        env,
+        team,
+        episodes=episodes,
+        config=config,
+        num_envs=num_envs,
+        eval_every=2,
+        eval_episodes=2,
+        fused_updates=fused,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
+    )
+
+
+def _idqn_logger(
+    episodes: int,
+    num_envs: int,
+    seed: int,
+    *,
+    async_actors: bool,
+    fused: bool = False,
+    max_staleness: int = 0,
+):
+    vec_env = make_baseline_vector_env(num_envs, scenario=SCENARIO)
+    algo = make_baseline(
+        "idqn", vec_env, seed=seed, batch_size=16, buffer_capacity=500
+    )
+    try:
+        return train_marl_vectorized(
+            vec_env,
+            algo,
+            episodes=episodes,
+            seed=seed,
+            eval_every=2,
+            eval_episodes=2,
+            fused_updates=fused,
+            async_actors=async_actors,
+            max_staleness=max_staleness,
+        )
+    finally:
+        vec_env.close()
+
+
+def _assert_logs_equal(name: str, what: str, log_a, log_b) -> None:
+    if sorted(log_a.names()) != sorted(log_b.names()):
+        raise SystemExit(
+            f"{name}: metric names drifted ({what}): "
+            f"{sorted(set(log_a.names()) ^ set(log_b.names()))}"
+        )
+    for metric in log_a.names():
+        if not np.array_equal(log_a.steps(metric), log_b.steps(metric)):
+            raise SystemExit(f"{name}: {what} drift in {metric} steps")
+        if not np.array_equal(log_a.values(metric), log_b.values(metric)):
+            raise SystemExit(
+                f"{name}: {what} drift in {metric}: "
+                f"{log_a.values(metric)} != {log_b.values(metric)}"
+            )
+
+
+def check_lockstep(train, name: str, prefix: str, episodes, num_envs, seed) -> None:
+    """Async lockstep must match the synchronous loop bit-for-bit."""
+    for fused in (False, True):
+        what = f"async-lockstep-vs-sync ({'fused' if fused else 'plain'})"
+        log_sync = train(episodes, num_envs, seed, async_actors=False, fused=fused)
+        log_async = train(episodes, num_envs, seed, async_actors=True, fused=fused)
+        _assert_logs_equal(name, what, log_sync, log_async)
+        print(f"{name}: {what}: no drift over {episodes} episodes")
+
+
+def check_staleness(
+    train, name: str, prefix: str, episodes, num_envs, seed, budget: int
+) -> None:
+    """Staleness mode must finish the budget and log bounded staleness."""
+    logger = train(
+        episodes, num_envs, seed, async_actors=True, max_staleness=budget
+    )
+    recorded = logger.values(f"{prefix}/episode_reward").size
+    if recorded != episodes:
+        raise SystemExit(
+            f"{name}: staleness run logged {recorded} episodes, "
+            f"expected {episodes}"
+        )
+    staleness = logger.values(f"{prefix}/snapshot_staleness")
+    if staleness.size == 0:
+        raise SystemExit(f"{name}: staleness run logged no snapshot_staleness")
+    if (staleness < 0).any() or (staleness > budget).any():
+        raise SystemExit(
+            f"{name}: snapshot staleness {staleness} escaped the "
+            f"budget [0, {budget}]"
+        )
+    print(
+        f"{name}: staleness budget {budget}: {episodes} episodes, observed "
+        f"staleness mean {staleness.mean():.2f} / max {staleness.max():.0f}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--episodes", type=int, default=3)
+    parser.add_argument("--num-envs", type=int, default=2)
+    parser.add_argument("--max-staleness", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    for train, name, prefix in (
+        (_hero_logger, "hero", "hero"),
+        (_idqn_logger, "idqn", "idqn"),
+    ):
+        check_lockstep(train, name, prefix, args.episodes, args.num_envs, args.seed)
+        if args.max_staleness > 0:
+            check_staleness(
+                train,
+                name,
+                prefix,
+                args.episodes,
+                args.num_envs,
+                args.seed,
+                args.max_staleness,
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,18 +6,29 @@ observations through :class:`repro.distributed.MessageBus` with latency
 and packet loss, trains HERO in that fully-distributed regime, and prints
 bus statistics alongside learning metrics.
 
-It closes with the repo's *other* distribution axis side by side: the
-``distributed/`` package distributes **observations** (the paper's DTDE
-semantics — what each agent may see), while
-:class:`repro.envs.ShardedVectorEnv` distributes **env stepping** across
-worker processes (a pure throughput axis, bit-for-bit identical to
-single-process rollouts).  The two compose: a sharded rollout engine can
-feed any training regime that accepts the vectorized stepping interface.
+It closes with the repo's *other* distribution axes side by side:
+
+* the ``distributed/`` package distributes **observations** (the paper's
+  DTDE semantics — what each agent may see);
+* :class:`repro.envs.ShardedVectorEnv` distributes **env stepping**
+  across worker processes (a pure throughput axis, bit-for-bit identical
+  to single-process rollouts);
+* the async actor–learner stack
+  (:mod:`repro.distributed.actor_learner`) distributes **rollout
+  collection vs. gradient updates** across processes: an actor pushes
+  transition batches through a shared-memory ring while the learner
+  trains on versioned parameter snapshots.  ``max_staleness=0`` is a
+  lockstep barrier, bitwise equal to the synchronous loop;
+  ``max_staleness > 0`` overlaps the two phases.
+
+The three compose: the async actor can itself shard its env batch across
+workers, and any regime that accepts the vectorized stepping interface
+can ride on top.
 
 Usage::
 
     python examples/distributed_dtde.py --latency 2 --drop 0.2 \
-        --episodes 200 --num-workers 2
+        --episodes 200 --num-workers 2 --async-episodes 20
 """
 
 import argparse
@@ -57,6 +68,45 @@ def sharded_rollout_demo(config: TrainingConfig, num_workers: int, num_envs: int
         )
 
 
+def async_actor_learner_demo(
+    config: TrainingConfig, episodes: int, num_envs: int = 4, max_staleness: int = 1
+):
+    """Short async actor–learner run: rollouts in a child process.
+
+    The actor process steps ``num_envs`` env copies and ships transition
+    batches over a shared-memory queue; the learner applies updates and
+    publishes versioned parameter snapshots.  With ``max_staleness > 0``
+    the actor may collect against a snapshot up to that many rounds old,
+    overlapping collection with updates — the logged
+    ``hero/snapshot_staleness`` series shows how far behind it actually
+    ran.
+    """
+    env = CooperativeLaneChangeEnv(scenario=config.scenario, rewards=config.rewards)
+    team = HeroTeam(env, np.random.default_rng(config.seed), batch_size=32)
+    start = time.perf_counter()
+    logger = train_hero(
+        env,
+        team,
+        episodes=episodes,
+        config=config,
+        num_envs=num_envs,
+        async_actors=True,
+        max_staleness=max_staleness,
+    )
+    elapsed = time.perf_counter() - start
+    staleness = logger.values("hero/snapshot_staleness")
+    print(
+        f"\nasync actor-learner: {episodes} episodes, {num_envs} envs in the "
+        f"actor process, staleness budget {max_staleness} -> observed "
+        f"mean {staleness.mean():.2f} / max {staleness.max():.0f} "
+        f"({elapsed:.1f}s)"
+    )
+    print(
+        "  max_staleness=0 would be a lockstep barrier: bitwise equal to "
+        "the synchronous vectorized loop (locked by tests)."
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--latency", type=int, default=1, help="bus latency in env steps")
@@ -69,6 +119,18 @@ def main() -> None:
         type=int,
         default=2,
         help="worker processes for the closing sharded-rollout demo",
+    )
+    parser.add_argument(
+        "--async-episodes",
+        type=int,
+        default=12,
+        help="episodes for the closing async actor-learner demo (0 skips it)",
+    )
+    parser.add_argument(
+        "--max-staleness",
+        type=int,
+        default=1,
+        help="snapshot-staleness budget for the async demo (0 = lockstep)",
     )
     args = parser.parse_args()
 
@@ -104,9 +166,14 @@ def main() -> None:
     )
 
     sharded_rollout_demo(config, num_workers=args.num_workers)
+    if args.async_episodes > 0:
+        async_actor_learner_demo(
+            config, episodes=args.async_episodes, max_staleness=args.max_staleness
+        )
     print(
         "distributed/ shards what agents may observe; ShardedVectorEnv "
-        "shards where envs are stepped — orthogonal, composable axes."
+        "shards where envs are stepped; actor_learner shards when "
+        "collection and updates happen — orthogonal, composable axes."
     )
 
 

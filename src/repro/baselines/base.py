@@ -229,6 +229,8 @@ def train_marl_vectorized(
     eval_episodes: int = 3,
     eval_num_envs: int | None = None,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> MetricLogger:
     """:func:`train_marl` with the rollout phase on a ``VectorBaselineEnv``.
 
@@ -251,10 +253,35 @@ def train_marl_vectorized(
     evaluation env stays single-process even when training steps through
     sharded worker processes: its batch is too small to amortise worker
     dispatch, and results are bit-for-bit identical either way.
+
+    ``async_actors`` moves the rollout phase into a separate actor process
+    on the async actor–learner stack
+    (:func:`~repro.distributed.actor_learner.train_marl_async`); only IDQN
+    supports it (other baselines fall back to this synchronous loop with a
+    warning — their recurrent update/rollout coupling has no capture-replay
+    protocol yet).  ``max_staleness=0`` is a lockstep barrier, bitwise
+    identical to the synchronous loop; larger values let the actor run
+    ahead of the newest policy snapshot by that many collection rounds.
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
-    update_fn = _resolve_update_fn(algorithm, fused_updates)
+    engine = None
+    if fused_updates:
+        from ..core.update_engine import UpdateEngine
+
+        engine = UpdateEngine(algorithm)
+    update_fn = engine.update if engine is not None else algorithm.update
+    if async_actors:
+        from .idqn import IndependentDQN
+
+        if not isinstance(algorithm, IndependentDQN):
+            warnings.warn(
+                f"async_actors supports IDQN only; {algorithm.name} falls "
+                "back to the synchronous vectorized loop",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            async_actors = False
     epsilon_schedule = LinearSchedule(
         epsilon_start, epsilon_end, epsilon_decay_episodes or max(episodes // 2, 1)
     )
@@ -284,6 +311,25 @@ def train_marl_vectorized(
         )
 
     try:
+        if async_actors:
+            from ..distributed.actor_learner import train_marl_async
+
+            return train_marl_async(
+                vec_env,
+                algorithm,
+                episodes,
+                seed,
+                epsilon_schedule,
+                updates_per_episode,
+                logger,
+                prefix,
+                eval_every,
+                eval_episodes,
+                eval_vec_env,
+                update_fn,
+                engine=engine,
+                max_staleness=max_staleness,
+            )
         return _train_marl_vectorized_loop(
             vec_env,
             algorithm,

@@ -61,6 +61,8 @@ def _cmd_run(args) -> int:
         num_envs=args.num_envs,
         num_workers=args.num_workers,
         fused_updates=args.fused_updates,
+        async_actors=args.async_actors,
+        max_staleness=args.max_staleness,
     )
     return 0
 
@@ -78,6 +80,8 @@ def _cmd_run_all(args) -> int:
             num_envs=args.num_envs,
             num_workers=args.num_workers,
             fused_updates=args.fused_updates,
+            async_actors=args.async_actors,
+            max_staleness=args.max_staleness,
         )
     return 0
 
@@ -151,6 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
             "equivalent to the default per-network loop, not bitwise"
         ),
     )
+    run.add_argument(
+        "--async-actors",
+        action="store_true",
+        help=(
+            "run rollouts in a separate actor process on the async "
+            "actor-learner stack (distributed.actor_learner; HERO and "
+            "IDQN, needs --num-envs > 1; other baselines warn and stay "
+            "synchronous)"
+        ),
+    )
+    run.add_argument(
+        "--max-staleness",
+        type=int,
+        default=0,
+        help=(
+            "snapshot-staleness budget for --async-actors, in collection "
+            "rounds: 0 = lockstep barrier, bitwise identical to the "
+            "synchronous loop; > 0 lets the actor run ahead of the newest "
+            "policy snapshot and logs <prefix>/snapshot_staleness"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment harness")
@@ -183,6 +208,27 @@ def build_parser() -> argparse.ArgumentParser:
             "networks (core.update_engine): HERO critics/actors/opponent "
             "models and IDQN update as stacked families; tolerance-"
             "equivalent to the default per-network loop, not bitwise"
+        ),
+    )
+    run_all.add_argument(
+        "--async-actors",
+        action="store_true",
+        help=(
+            "run rollouts in a separate actor process on the async "
+            "actor-learner stack (distributed.actor_learner; HERO and "
+            "IDQN, needs --num-envs > 1; other baselines warn and stay "
+            "synchronous)"
+        ),
+    )
+    run_all.add_argument(
+        "--max-staleness",
+        type=int,
+        default=0,
+        help=(
+            "snapshot-staleness budget for --async-actors, in collection "
+            "rounds: 0 = lockstep barrier, bitwise identical to the "
+            "synchronous loop; > 0 lets the actor run ahead of the newest "
+            "policy snapshot and logs <prefix>/snapshot_staleness"
         ),
     )
     run_all.set_defaults(func=_cmd_run_all)

@@ -137,6 +137,16 @@ class TrainingConfig:
     # per-network loop within float tolerance (not bitwise — see
     # docs/ARCHITECTURE.md, "Update phase").
     fused_updates: bool = False
+    # Run rollouts in a separate actor process (distributed.actor_learner):
+    # the actor steps the vectorized env batch and pulls versioned policy
+    # snapshots from a shared-memory parameter server while the learner
+    # updates continuously.  Applies when num_envs > 1.
+    async_actors: bool = False
+    # Snapshot-staleness budget for async_actors, in collection rounds.
+    # 0 = lockstep barrier — bitwise identical to the synchronous loop;
+    # k > 0 lets the actor run up to k rounds ahead of the newest snapshot
+    # (rollout and update genuinely overlap; staleness is logged per round).
+    max_staleness: int = 0
     epsilon_start: float = 1.0
     epsilon_end: float = 0.05
     epsilon_decay_episodes: int = 2_000

@@ -163,6 +163,8 @@ def train_hero(
     num_envs: int | None = None,
     num_workers: int | None = None,
     fused_updates: bool | None = None,
+    async_actors: bool | None = None,
+    max_staleness: int | None = None,
 ) -> MetricLogger:
     """Algorithm 1: train the high-level cooperative strategy.
 
@@ -193,6 +195,18 @@ def train_hero(
     over the team: all agents' critics, actors and opponent predictors are
     updated as three stacked network families — tolerance-equivalent to the
     per-agent loop, substantially faster (see docs/ARCHITECTURE.md).
+
+    ``async_actors`` (default ``config.async_actors``; needs
+    ``num_envs > 1``) moves the rollout phase into a separate actor
+    process on the async actor–learner stack
+    (:func:`~repro.distributed.actor_learner.train_hero_async`): the
+    actor acts on versioned policy snapshots from a shared-memory
+    parameter server and ships experience back through a transition
+    queue.  ``max_staleness`` (default ``config.max_staleness``) bounds
+    how many collection rounds the actor may run ahead of the newest
+    snapshot — 0 is a lockstep barrier, bitwise identical to the
+    synchronous path; larger values overlap rollout and update and log
+    per-round snapshot staleness.
     """
     config = config or TrainingConfig()
     if num_envs is None:
@@ -201,7 +215,12 @@ def train_hero(
         num_workers = config.num_workers
     if fused_updates is None:
         fused_updates = config.fused_updates
-    update_fn = UpdateEngine(team).update if fused_updates else team.update
+    if async_actors is None:
+        async_actors = config.async_actors
+    if max_staleness is None:
+        max_staleness = config.max_staleness
+    engine = UpdateEngine(team) if fused_updates else None
+    update_fn = engine.update if engine is not None else team.update
     logger = logger or MetricLogger()
     rng = np.random.default_rng(config.seed + 12345)
     epsilon_schedule = LinearSchedule(
@@ -214,7 +233,36 @@ def train_hero(
     )
     if eval_every is None:
         eval_every = max(episodes // 40, 1)
+    if async_actors and num_envs <= 1:
+        warnings.warn(
+            "async_actors needs num_envs > 1 (the actor process steps a "
+            "vectorized env batch); falling back to the synchronous scalar loop",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        async_actors = False
     if num_envs > 1:
+        if async_actors:
+            from ..distributed.actor_learner import train_hero_async
+
+            return train_hero_async(
+                env,
+                team,
+                episodes,
+                num_envs=num_envs,
+                num_workers=num_workers,
+                rng=rng,
+                epsilon_schedule=epsilon_schedule,
+                n_updates=n_updates,
+                logger=logger,
+                metric_prefix=metric_prefix,
+                eval_every=eval_every,
+                eval_episodes=eval_episodes,
+                config=config,
+                update_fn=update_fn,
+                engine=engine,
+                max_staleness=max_staleness,
+            )
         return _train_hero_vectorized(
             env,
             team,

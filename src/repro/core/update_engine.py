@@ -1056,3 +1056,112 @@ class UpdateEngine:
     def update(self):
         """Run one fused update round; mirrors the target's own update API."""
         return self._impl.update()
+
+
+# ---------------------------------------------------------------------------
+# Flat parameter vectors per network family
+# ---------------------------------------------------------------------------
+#
+# The async actor–learner stack ships whole network families as single
+# float64 vectors.  The layout below is *defined* to match FamilyAdam's
+# flat buffer (StackedMLP.params() order: every layer's stacked weights
+# first, then every biased layer's stacked biases, members raveled
+# member-major inside each stack) so a fused learner can publish a family
+# snapshot with one ``np.copyto(slot, opt._flat)`` and an actor replica
+# bound through :class:`BoundFamilyVector` can import it with one copy.
+
+
+def _family_linear_columns(members) -> list[list[Linear]]:
+    """Per-layer columns of each member MLP's ``Linear`` layers."""
+    nets = [m.net for m in members]
+    template = nets[0].children
+    return [
+        [net.children[idx] for net in nets]
+        for idx, child in enumerate(template)
+        if isinstance(child, Linear)
+    ]
+
+
+def iter_family_params(members):
+    """Yield member parameters in the family flat-vector order.
+
+    Concatenating the raveled ``.data`` of the yielded parameters produces
+    exactly the bytes of the corresponding :class:`FamilyAdam` flat buffer
+    (``tests/test_actor_learner.py`` locks this).
+    """
+    columns = _family_linear_columns(members)
+    for column in columns:
+        for lin in column:
+            yield lin.weight
+    for column in columns:
+        if column[0].bias is not None:
+            for lin in column:
+                yield lin.bias
+
+
+def family_vector_size(members) -> int:
+    """Length of the family's flat parameter vector."""
+    return sum(p.data.size for p in iter_family_params(members))
+
+
+def gather_family(members, out: np.ndarray | None = None) -> np.ndarray:
+    """Copy a family's parameters into one flat vector (no rebinding).
+
+    The export path for non-fused learners and for optimisers that own the
+    parameter storage themselves (plain per-network Adam): member ``.data``
+    arrays are read, never re-pointed.
+    """
+    size = family_vector_size(members)
+    if out is None:
+        out = np.empty(size)
+    elif out.size != size:
+        raise ValueError(f"out has {out.size} elements, family needs {size}")
+    offset = 0
+    for param in iter_family_params(members):
+        n = param.data.size
+        out[offset : offset + n] = param.data.reshape(-1)
+        offset += n
+    return out
+
+
+def scatter_family(members, vector: np.ndarray) -> None:
+    """Copy a flat vector back into a family's parameters (no rebinding)."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    size = family_vector_size(members)
+    if vector.size != size:
+        raise ValueError(f"vector has {vector.size} elements, family needs {size}")
+    offset = 0
+    for param in iter_family_params(members):
+        n = param.data.size
+        param.data[...] = vector[offset : offset + n].reshape(param.data.shape)
+        offset += n
+
+
+class BoundFamilyVector:
+    """A family's parameters rebound as views into one contiguous vector.
+
+    Built on an actor-side replica: after construction, every member
+    ``Parameter.data`` aliases a slice of :attr:`vector`, so importing a
+    published snapshot is a single :meth:`load` copy and the replica's
+    inference immediately sees the new weights.  Do **not** bind the same
+    members to both a :class:`FamilyAdam` and a :class:`BoundFamilyVector`
+    — each flattening assumes it owns the storage.
+    """
+
+    def __init__(self, members):
+        self._params = list(iter_family_params(members))
+        sizes = [p.data.size for p in self._params]
+        bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self.vector = np.empty(int(bounds[-1]))
+        for param, start, stop in zip(self._params, bounds[:-1], bounds[1:]):
+            sl = slice(int(start), int(stop))
+            self.vector[sl] = param.data.reshape(-1)
+            param.data = self.vector[sl].reshape(param.data.shape)
+
+    @property
+    def size(self) -> int:
+        return self.vector.size
+
+    def load(self, vector: np.ndarray) -> None:
+        """Import a flat snapshot: one copy into the bound storage."""
+        np.copyto(self.vector, vector)

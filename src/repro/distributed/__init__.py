@@ -1,18 +1,44 @@
-"""Simulated distributed runtime: message bus, agent nodes, parameter server."""
+"""Distributed runtime: simulated vehicle network + async actor–learner stack.
 
+Two layers share this package.  The *simulated* layer (:class:`MessageBus`,
+:class:`AgentNode`) models the paper's lossy, delayed vehicle-to-vehicle
+network that distributed execution must tolerate.  The *real* layer is the
+async actor–learner training stack: rollout actors in separate processes
+push experience through a shared-memory :class:`ShmRingQueue` and pull
+versioned policy snapshots from the :class:`ParameterServer`, while the
+learner updates continuously (:func:`train_hero_async`,
+:func:`train_marl_async`).
+"""
+
+from .actor_learner import train_hero_async, train_marl_async
 from .bus import MessageBus
 from .node import AgentNode, DistributedObservationService
-from .parameter_server import ParameterServer, SharedCriticSynchroniser
-from .protocol import Message, OptionAnnouncement, ParameterRequest, ParameterUpdate
+from .parameter_server import ParameterServer
+from .protocol import (
+    ActorError,
+    Message,
+    OptionAnnouncement,
+    RolloutPayload,
+    decode_rng_state,
+    encode_rng_state,
+    load_rng_state,
+)
+from .queues import QueueClosed, ShmRingQueue
 
 __all__ = [
+    "ActorError",
     "AgentNode",
     "DistributedObservationService",
     "Message",
     "MessageBus",
     "OptionAnnouncement",
-    "ParameterRequest",
     "ParameterServer",
-    "ParameterUpdate",
-    "SharedCriticSynchroniser",
+    "QueueClosed",
+    "RolloutPayload",
+    "ShmRingQueue",
+    "decode_rng_state",
+    "encode_rng_state",
+    "load_rng_state",
+    "train_hero_async",
+    "train_marl_async",
 ]

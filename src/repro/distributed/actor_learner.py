@@ -1,0 +1,780 @@
+"""Async actor–learner training stack (Ape-X/IMPALA style) for DTDE runs.
+
+Topology: **one rollout actor process** drives the whole vectorized env
+batch with batched policy inference on a replica of the policy networks
+(``num_workers > 1`` shards the env *stepping* inside the actor across
+worker processes via :class:`~repro.envs.sharded_env.ShardedVectorEnv`),
+while the **learner** stays in the calling process, drains transition
+batches from a shared-memory :class:`~repro.distributed.queues.ShmRingQueue`
+and runs gradient updates continuously.  Fresh policy snapshots flow the
+other way through the :class:`~repro.distributed.parameter_server.ParameterServer`
+— double-buffered flat parameter vectors per network family (one
+``np.copyto`` out of the fused optimizers' flat buffers), versioned so
+the actor reports how stale the snapshot it acted on was.
+
+A single policy-stepping actor is a deliberate choice, not a limitation:
+option selection consumes one shared RNG stream across the env batch, so
+splitting the batch over several policy replicas would reorder draws and
+break the determinism contract below.  Env *dynamics* have no such
+coupling, which is why stepping still fans out across shard workers.
+
+Determinism contract (``max_staleness``):
+
+* ``max_staleness=0`` — lockstep barrier.  The actor waits for snapshot
+  version ``r`` before collection round ``r`` and ships its post-round
+  RNG state with each payload; the learner adopts that state, replays
+  the captured experience in order, updates, and publishes version
+  ``r + 1`` with its post-update RNG state.  Exactly one of the two
+  processes is consuming each RNG stream at any time, so the run is
+  **bitwise identical** to the synchronous vectorized loop
+  (``tests/test_actor_learner.py`` locks this).
+* ``max_staleness=k > 0`` — the actor runs ahead on forked RNG streams
+  (:func:`~repro.utils.seeding.spawn_rngs`), importing the newest
+  snapshot with version >= ``round - k`` before each round; rollout and
+  update genuinely overlap.  The learner logs per-round
+  ``{prefix}/snapshot_staleness`` so seeded runs can histogram the
+  versions actually used.
+
+Shutdown: the learner sets the server's stop flag, closes the queue
+(waking an actor blocked on backpressure), joins the actor and unlinks
+both shared-memory segments.  An actor-side failure — including a shard
+worker death inside its ``ShardedVectorEnv`` — arrives as an
+:class:`~repro.distributed.protocol.ActorError` frame and is re-raised
+by the learner with the original traceback (naming the failing shard).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+import warnings
+
+import numpy as np
+
+from ..baselines.base import evaluate_marl_vectorized
+from ..baselines.idqn import IndependentDQN
+from ..core.batched import BatchedHeroRunner
+from ..core.hero import HeroTeam
+from ..core.options import OptionSet
+from ..core.trainer import (
+    BatchedRolloutWorker,
+    _log_hero_episode,
+    _log_hero_eval,
+    _make_hero_vec_env,
+    evaluate_hero_vectorized,
+)
+from ..core.update_engine import (
+    BoundFamilyVector,
+    HeroTeamUpdateEngine,
+    IDQNUpdateEngine,
+    family_vector_size,
+    gather_family,
+)
+from ..envs.lane_change_env import CooperativeLaneChangeEnv
+from ..envs.sharded_env import EnvReplicaFactory
+from ..envs.wrappers import make_baseline_vector_env
+from ..nn.layers import Linear
+from ..utils.logging_utils import MetricLogger
+from ..utils.seeding import episode_reset_seeds, spawn_rngs
+from .parameter_server import ParameterServer
+from .protocol import ActorError, RolloutPayload, encode_rng_state, load_rng_state
+from .queues import QueueClosed, ShmRingQueue
+
+__all__ = ["train_hero_async", "train_marl_async"]
+
+# Spawned (not forked) actors: a fork would duplicate the learner's BLAS
+# state and open shm handles; spawn re-imports cleanly and matches the
+# shard workers' model.
+_CTX = mp.get_context("spawn")
+
+# Transition-queue capacity.  A HERO collection round ships every SMDP
+# transition and opponent observation of the batch since the last round;
+# 64 MiB holds hundreds of rounds of headroom and bounds learner lag.
+_QUEUE_BYTES = 64 << 20
+
+_JOIN_TIMEOUT = 10.0
+
+# Salt for the actor-side forked RNG streams in staleness mode (keeps
+# them disjoint from every seed the learner derives).
+_ACTOR_RNG_SALT = 31337
+
+
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
+
+
+def _parent_abort() -> str | None:
+    """Abort message for actor-side waits when the learner is gone."""
+    parent = mp.parent_process()
+    if parent is not None and not parent.is_alive():
+        return "learner process died while the actor was waiting"
+    return None
+
+
+def _actor_abort(process: mp.Process):
+    """Abort callback for learner-side waits when the actor is gone."""
+
+    def check() -> str | None:
+        if not process.is_alive():
+            return (
+                "async actor process died without reporting an error "
+                f"(exit code {process.exitcode})"
+            )
+        return None
+
+    return check
+
+
+def _make_exporter(members, flat: np.ndarray | None = None):
+    """Slot exporter: the fused optimizer's flat buffer when it exists
+    (zero-copy — ``ParameterServer.publish`` copies straight out of it),
+    a ``gather_family`` copy otherwise (non-fused updates own their
+    parameter storage per network)."""
+    size = family_vector_size(members)
+    if flat is not None and flat.size == size:
+        return lambda: flat
+    out = np.empty(size)
+    return lambda: gather_family(members, out)
+
+
+def _shutdown(server, queue, process, *closeables) -> None:
+    """Tear the stack down in signal order; never leaves an orphan or shm.
+
+    Stop flag first (wakes an actor polling the server), queue close
+    second (wakes an actor blocked on backpressure), then join — with a
+    terminate fallback so a wedged actor cannot hang the learner — and
+    finally close + unlink both shared-memory segments.
+    """
+    server.request_stop()
+    queue.close()
+    process.join(timeout=_JOIN_TIMEOUT)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=_JOIN_TIMEOUT)
+    queue.release()
+    server.release()
+    for closeable in closeables:
+        if closeable is not None:
+            closeable.close()
+
+
+def _check_payload(payload) -> RolloutPayload:
+    if isinstance(payload, ActorError):
+        raise RuntimeError(f"async actor failed:\n{payload.message}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# HERO
+# ---------------------------------------------------------------------------
+
+
+def _capture_transition(events: list, agent_index: int):
+    def capture(transition) -> None:
+        events.append(("t", agent_index, transition))
+
+    return capture
+
+
+def _capture_record(events: list, agent_index: int):
+    def capture(obs, other_options) -> None:
+        events.append(
+            (
+                "r",
+                agent_index,
+                np.array(obs, dtype=np.float64, copy=True),
+                np.array(other_options, dtype=np.int64, copy=True),
+            )
+        )
+
+    return capture
+
+
+def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
+    """Rollout actor process: act on snapshots, ship captured experience.
+
+    Runs the same :class:`BatchedRolloutWorker` code path as the
+    synchronous loop on a replica team whose learnable families are bound
+    to flat import vectors.  Replay-buffer writes and opponent-model
+    records are captured as an ordered event log instead of being applied
+    locally — the learner replays them verbatim, so its buffers evolve
+    exactly as the synchronous loop's would.
+    """
+    vec_env = None
+    try:
+        env = spec["factory"]()
+        team = HeroTeam(
+            env,
+            np.random.default_rng(0),
+            hyper=spec["hyper"],
+            option_set=OptionSet(*spec["option_set_args"]),
+            opponent_mode=spec["opponent_mode"],
+            batch_size=spec["batch_size"],
+        )
+        team.load_state_dict(spec["team_state"])
+        highs = [team.agents[a].high_level for a in env.agents]
+        # Skills are pre-trained and frozen during high-level training, but
+        # their exploration RNGs advanced during pre-training: adopt the
+        # exact states, shipped once at spawn.
+        load_rng_state(team.skills.driving_in_lane._rng, spec["skill_rng"][0])
+        load_rng_state(team.skills.lane_change._rng, spec["skill_rng"][1])
+        if spec["actor_rng"] is not None:  # staleness mode: forked streams
+            for high, words in zip(highs, spec["actor_rng"]):
+                load_rng_state(high._rng, words)
+
+        bound = {"actor": BoundFamilyVector([h.actor.trunk for h in highs])}
+        if spec["has_opponent_slot"]:
+            bound["opponent"] = BoundFamilyVector(
+                [p.trunk for h in highs for p in h.opponent_model.predictors]
+            )
+        events: list = []
+        for k, high in enumerate(highs):
+            high.store_transition = _capture_transition(events, k)
+            if spec["has_opponent_slot"]:
+                high.opponent_model.record = _capture_record(events, k)
+
+        vec_env = _make_hero_vec_env(
+            spec["factory"], spec["num_envs"], spec["num_workers"]
+        )
+        worker = BatchedRolloutWorker(vec_env, team)
+        worker.reset(spec["seeds"])
+        max_staleness = spec["max_staleness"]
+        lockstep = max_staleness == 0
+        round_index = 0
+        while not server.stop_requested:
+            try:
+                version, vectors, rng_words = server.read(
+                    max(round_index - max_staleness, 0), abort=_parent_abort
+                )
+            except RuntimeError:
+                if server.stop_requested:
+                    break
+                raise
+            for name, view in bound.items():
+                view.load(vectors[name])
+            if lockstep:
+                for j, high in enumerate(highs):
+                    load_rng_state(high._rng, rng_words[j])
+            events.clear()
+            stats = worker.collect(spec["epsilon_schedule"])
+            payload = RolloutPayload(
+                round_index=round_index,
+                version_used=version,
+                data={
+                    "events": list(events),
+                    "stats": stats,
+                    "last_observed": [
+                        h._last_observed_options.copy() for h in highs
+                    ],
+                },
+                rng_states=(
+                    [encode_rng_state(h._rng) for h in highs] if lockstep else []
+                ),
+            )
+            try:
+                queue.put(payload, abort=_parent_abort)
+            except QueueClosed:
+                break
+            round_index += 1
+    except Exception:
+        try:
+            queue.put(ActorError(message=traceback.format_exc()), timeout=5.0)
+        except Exception:
+            pass
+    finally:
+        if vec_env is not None:
+            vec_env.close()
+        queue.release()
+        server.release()
+
+
+def train_hero_async(
+    env: CooperativeLaneChangeEnv,
+    team: HeroTeam,
+    episodes: int,
+    *,
+    num_envs: int,
+    num_workers: int,
+    rng: np.random.Generator,
+    epsilon_schedule,
+    n_updates: int,
+    logger: MetricLogger,
+    metric_prefix: str,
+    eval_every: int | None,
+    eval_episodes: int,
+    config,
+    update_fn,
+    engine=None,
+    max_staleness: int = 0,
+) -> MetricLogger:
+    """Algorithm 1 on the async actor–learner stack.
+
+    Same contract as the synchronous ``_train_hero_vectorized`` — at
+    ``max_staleness=0`` the same bits, at ``max_staleness>0`` overlapped
+    rollout and update with staleness logged per round.  ``engine`` is
+    the :class:`~repro.core.update_engine.UpdateEngine` behind
+    ``update_fn`` when fused updates are active; its flat optimizer
+    buffers make each snapshot publish a plain ``np.copyto``.
+    """
+    if type(env) is not CooperativeLaneChangeEnv:
+        raise ValueError(
+            f"async actors cannot replicate a {type(env).__name__}; the actor "
+            "process rebuilds the env from its configuration — use the stock "
+            "CooperativeLaneChangeEnv or the synchronous loop"
+        )
+    if type(team.option_set) is not OptionSet:
+        raise ValueError(
+            "async actors require the default OptionSet (custom option sets "
+            "hold unpicklable predicates and cannot be shipped to the actor)"
+        )
+    if max_staleness < 0:
+        raise ValueError(f"max_staleness must be >= 0, got {max_staleness}")
+
+    factory = EnvReplicaFactory(
+        scenario=env.scenario,
+        rewards=env.rewards,
+        track=env.track,
+        scripted_policy=env._scripted_policy,
+    )
+    highs = [team.agents[a].high_level for a in env.agents]
+    first = highs[0]
+    impl = getattr(engine, "_impl", None)
+    fused_impl = impl if isinstance(impl, HeroTeamUpdateEngine) else None
+
+    actor_members = [h.actor.trunk for h in highs]
+    slots = {"actor": family_vector_size(actor_members)}
+    exporters = {
+        "actor": _make_exporter(
+            actor_members, fused_impl.actor_opt._flat if fused_impl else None
+        )
+    }
+    has_opponent_slot = bool(first.num_opponents) and first.opponent_mode == "model"
+    if has_opponent_slot:
+        opponent_members = [
+            p.trunk for h in highs for p in h.opponent_model.predictors
+        ]
+        slots["opponent"] = family_vector_size(opponent_members)
+        exporters["opponent"] = _make_exporter(
+            opponent_members,
+            fused_impl.opponent_opt._flat if fused_impl else None,
+        )
+
+    def rng_sidecar() -> np.ndarray:
+        return np.stack([encode_rng_state(h._rng) for h in highs])
+
+    lockstep = max_staleness == 0
+    server = ParameterServer(slots, num_rngs=len(highs))
+    queue = ShmRingQueue(_QUEUE_BYTES, context=_CTX)
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(num_envs)]
+    spec = {
+        "factory": factory,
+        "num_envs": num_envs,
+        "num_workers": num_workers,
+        "seeds": seeds,
+        "epsilon_schedule": epsilon_schedule,
+        "hyper": team.hyper,
+        "option_set_args": (
+            team.option_set.option_duration,
+            team.option_set.lane_change_max_steps,
+        ),
+        "opponent_mode": first.opponent_mode,
+        "batch_size": first.batch_size,
+        "team_state": team.state_dict(),
+        "skill_rng": [
+            encode_rng_state(team.skills.driving_in_lane._rng),
+            encode_rng_state(team.skills.lane_change._rng),
+        ],
+        "actor_rng": (
+            None
+            if lockstep
+            else [
+                encode_rng_state(g)
+                for g in spawn_rngs(config.seed + _ACTOR_RNG_SALT, len(highs))
+            ]
+        ),
+        "has_opponent_slot": has_opponent_slot,
+        "max_staleness": max_staleness,
+    }
+    # Version 0 — current weights and RNG states — must exist before the
+    # actor's first read.
+    server.publish({name: fn() for name, fn in exporters.items()}, rng_sidecar())
+    process = _CTX.Process(
+        target=_hero_actor_main, args=(spec, server, queue), name="hero-actor"
+    )
+    process.start()
+
+    eval_vec = None
+    try:
+        evaluator = None
+        if eval_every:
+            # Same sizing note as the synchronous loop: the eval batch is
+            # capped at eval_episodes and stays single-process.
+            eval_envs = max(min(num_envs, eval_episodes), 1)
+            eval_vec = _make_hero_vec_env(factory, eval_envs, 1)
+            if not eval_vec.fast_path:
+                warnings.warn(
+                    "vectorized HERO rollouts are stepping on the scalar "
+                    f"fallback ({eval_vec.fallback_reason}); training is "
+                    "correct but --num-envs/--num-workers will not speed it up",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            eval_runner = BatchedHeroRunner(team, eval_vec)
+
+            def evaluator(episodes, seed):
+                return evaluate_hero_vectorized(
+                    eval_vec, team, episodes=episodes, seed=seed, runner=eval_runner
+                )
+
+        abort = _actor_abort(process)
+        completed = 0
+        losses: dict[str, float] = {}
+        while completed < episodes:
+            payload = _check_payload(queue.get(abort=abort))
+            if lockstep:
+                for high, words in zip(highs, payload.rng_states):
+                    load_rng_state(high._rng, words)
+            else:
+                logger.log(
+                    f"{metric_prefix}/snapshot_staleness",
+                    float(payload.round_index - payload.version_used),
+                    payload.round_index,
+                )
+            # Replay the actor's capture log: buffer pushes and opponent
+            # records land in the learner's team in the exact order the
+            # synchronous loop would have produced them.
+            for event in payload.data["events"]:
+                if event[0] == "t":
+                    highs[event[1]].store_transition(event[2])
+                else:
+                    highs[event[1]].opponent_model.record(event[2], event[3])
+            for high, observed in zip(highs, payload.data["last_observed"]):
+                high._last_observed_options = observed
+            for stat in payload.data["stats"]:
+                for _ in range(n_updates):
+                    losses = update_fn()
+                _log_hero_episode(
+                    logger,
+                    metric_prefix,
+                    env,
+                    stat["episode"],
+                    stat["epsilon"],
+                    stat["lane_change_attempts"],
+                    losses,
+                    completed,
+                )
+                if eval_every and (
+                    completed % eval_every == 0 or completed == episodes - 1
+                ):
+                    _log_hero_eval(
+                        logger,
+                        metric_prefix,
+                        env,
+                        team,
+                        eval_episodes,
+                        config,
+                        completed,
+                        evaluator=evaluator,
+                    )
+                completed += 1
+                if completed >= episodes:
+                    break
+            if completed < episodes:
+                server.publish(
+                    {name: fn() for name, fn in exporters.items()}, rng_sidecar()
+                )
+        return logger
+    finally:
+        _shutdown(server, queue, process, eval_vec)
+
+
+# ---------------------------------------------------------------------------
+# IDQN
+# ---------------------------------------------------------------------------
+
+
+def _idqn_hidden_dim(algorithm: IndependentDQN) -> int:
+    trunk = algorithm.q_networks[algorithm.agent_ids[0]].trunk
+    for child in trunk.net.children:
+        if isinstance(child, Linear):
+            return child.out_features
+    raise ValueError("IDQN trunk has no Linear layer")
+
+
+def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
+    """IDQN rollout actor: replicates the synchronous vectorized loop's
+    env/episode accounting step for step, acting on snapshots and shipping
+    per-step transition rows; every step that would trigger updates in the
+    synchronous loop closes a collection round."""
+    vec_env = None
+    try:
+        algo = IndependentDQN(
+            spec["agent_ids"],
+            spec["obs_dim"],
+            spec["num_actions"],
+            np.random.default_rng(0),
+            hidden_dim=spec["hidden_dim"],
+            buffer_capacity=1,  # the actor never observes; learner owns replay
+        )
+        bound = BoundFamilyVector(
+            [algo.q_networks[a].trunk for a in algo.agent_ids]
+        )
+        if spec["actor_rng"] is not None:  # staleness mode: forked stream
+            load_rng_state(algo._rng, spec["actor_rng"])
+        vec_env = make_baseline_vector_env(
+            spec["num_envs"],
+            scenario=spec["scenario"],
+            rewards=spec["rewards"],
+            num_workers=spec["num_workers"],
+        )
+        episodes = spec["episodes"]
+        schedule = spec["epsilon_schedule"]
+        max_staleness = spec["max_staleness"]
+        lockstep = max_staleness == 0
+
+        n = vec_env.num_envs
+        reset_seeds = episode_reset_seeds(spec["seed"], max(episodes, n))
+        episode_of_env = np.arange(n)
+        next_to_start = n
+        obs = vec_env.reset(seeds=[int(reset_seeds[e]) for e in episode_of_env])
+
+        rows: list[dict] = []
+        completed: set[int] = set()
+        next_to_log = 0
+        round_index = 0
+        version = -1
+        need_snapshot = True
+        while next_to_log < episodes and not server.stop_requested:
+            if need_snapshot:
+                try:
+                    version, vectors, rng_words = server.read(
+                        max(round_index - max_staleness, 0), abort=_parent_abort
+                    )
+                except RuntimeError:
+                    if server.stop_requested:
+                        break
+                    raise
+                bound.load(vectors["q"])
+                if lockstep:
+                    load_rng_state(algo._rng, rng_words[0])
+                need_snapshot = False
+
+            eps = np.array(
+                [schedule(min(int(e), episodes - 1)) for e in episode_of_env]
+            )
+            algo.epsilon = float(eps[0]) if n == 1 else eps
+            actions = algo.act_batch(obs, explore=True)
+            next_obs, rewards, dones, infos = vec_env.step(actions)
+            observed_next = next_obs
+            if dones.any():
+                observed_next = next_obs.copy()
+                for i in np.flatnonzero(dones):
+                    observed_next[i] = infos[i]["terminal_observation"]
+            rows.append(
+                {
+                    "obs": np.array(obs, copy=True),
+                    "actions": actions,
+                    "rewards": np.array(rewards, copy=True),
+                    "next_obs": np.array(observed_next, copy=True),
+                    "dones": np.array(dones, copy=True),
+                    "summaries": {
+                        int(i): infos[i]["episode"] for i in np.flatnonzero(dones)
+                    },
+                }
+            )
+            obs = next_obs
+
+            if any(episode_of_env[i] < episodes for i in np.flatnonzero(dones)):
+                payload = RolloutPayload(
+                    round_index=round_index,
+                    version_used=version,
+                    data={"rows": rows},
+                    rng_states=(
+                        [encode_rng_state(algo._rng)] if lockstep else []
+                    ),
+                )
+                try:
+                    queue.put(payload, abort=_parent_abort)
+                except QueueClosed:
+                    break
+                rows = []
+                round_index += 1
+                need_snapshot = True
+
+            # Mirror the learner's episode accounting (the learner has no
+            # envs; the actor has no logger — both follow the same rule).
+            for i in np.flatnonzero(dones):
+                episode = int(episode_of_env[i])
+                if episode < episodes:
+                    completed.add(episode)
+                    while next_to_log in completed:
+                        next_to_log += 1
+                episode_of_env[i] = next_to_start
+                if next_to_start < len(reset_seeds):
+                    obs[i] = vec_env.reset_env(
+                        i, seed=int(reset_seeds[next_to_start])
+                    )
+                next_to_start += 1
+    except Exception:
+        try:
+            queue.put(ActorError(message=traceback.format_exc()), timeout=5.0)
+        except Exception:
+            pass
+    finally:
+        if vec_env is not None:
+            vec_env.close()
+        queue.release()
+        server.release()
+
+
+def train_marl_async(
+    vec_env,
+    algorithm: IndependentDQN,
+    episodes: int,
+    seed: int,
+    epsilon_schedule,
+    updates_per_episode: int,
+    logger: MetricLogger,
+    prefix: str,
+    eval_every: int | None,
+    eval_episodes: int,
+    eval_vec_env,
+    update_fn,
+    engine=None,
+    max_staleness: int = 0,
+) -> MetricLogger:
+    """IDQN training on the async actor–learner stack.
+
+    Drop-in for ``_train_marl_vectorized_loop`` (same argument roles; the
+    caller keeps ownership of ``eval_vec_env``): the actor process steps a
+    fresh replica of ``vec_env``'s configuration, the learner replays the
+    shipped transition rows into its own replay buffers and runs the
+    update/logging/eval sequence under the identical episode accounting.
+    """
+    if max_staleness < 0:
+        raise ValueError(f"max_staleness must be >= 0, got {max_staleness}")
+    ids = algorithm.agent_ids
+    members = [algorithm.q_networks[a].trunk for a in ids]
+    impl = getattr(engine, "_impl", None)
+    fused_impl = impl if isinstance(impl, IDQNUpdateEngine) else None
+    export = _make_exporter(members, fused_impl.opt._flat if fused_impl else None)
+
+    lockstep = max_staleness == 0
+    server = ParameterServer({"q": family_vector_size(members)}, num_rngs=1)
+    queue = ShmRingQueue(_QUEUE_BYTES, context=_CTX)
+    spec = {
+        "agent_ids": list(ids),
+        "obs_dim": algorithm.obs_dim,
+        "num_actions": algorithm.num_actions,
+        "hidden_dim": _idqn_hidden_dim(algorithm),
+        "scenario": vec_env.scenario,
+        "rewards": vec_env.rewards,
+        "num_envs": vec_env.num_envs,
+        "num_workers": vec_env.num_workers,
+        "episodes": episodes,
+        "seed": seed,
+        "epsilon_schedule": epsilon_schedule,
+        "actor_rng": (
+            None
+            if lockstep
+            else encode_rng_state(spawn_rngs(seed + _ACTOR_RNG_SALT, 1)[0])
+        ),
+        "max_staleness": max_staleness,
+    }
+    server.publish({"q": export()}, np.stack([encode_rng_state(algorithm._rng)]))
+    process = _CTX.Process(
+        target=_idqn_actor_main, args=(spec, server, queue), name="idqn-actor"
+    )
+    process.start()
+
+    try:
+        n = vec_env.num_envs
+        episode_of_env = np.arange(n)
+        next_to_start = n
+        pending: dict[int, dict] = {}
+        next_to_log = 0
+        abort = _actor_abort(process)
+        while next_to_log < episodes:
+            payload = _check_payload(queue.get(abort=abort))
+            if lockstep:
+                load_rng_state(algorithm._rng, payload.rng_states[0])
+            else:
+                logger.log(
+                    f"{prefix}/snapshot_staleness",
+                    float(payload.round_index - payload.version_used),
+                    payload.round_index,
+                )
+            for row in payload.data["rows"]:
+                algorithm.observe_batch(
+                    row["obs"],
+                    row["actions"],
+                    row["rewards"],
+                    row["next_obs"],
+                    row["dones"],
+                )
+                for i in np.flatnonzero(row["dones"]):
+                    episode = int(episode_of_env[i])
+                    algorithm.end_episode()
+                    if episode < episodes:
+                        losses = None
+                        for _ in range(updates_per_episode):
+                            losses = update_fn()
+                        summary = row["summaries"][int(i)]
+                        entry = {
+                            "metrics": {
+                                f"{prefix}/episode_reward": summary["episode_reward"],
+                                f"{prefix}/collision_rate": summary["collision"],
+                                f"{prefix}/merge_success_rate": summary[
+                                    "merge_success_rate"
+                                ],
+                                f"{prefix}/mean_speed": summary["mean_speed"],
+                            },
+                            "losses": {
+                                f"{prefix}/{name}": value
+                                for name, value in (losses or {}).items()
+                            },
+                            "eval": None,
+                        }
+                        if eval_every and (
+                            episode % eval_every == 0 or episode == episodes - 1
+                        ):
+                            eval_metrics = evaluate_marl_vectorized(
+                                eval_vec_env,
+                                algorithm,
+                                episodes=eval_episodes,
+                                seed=seed + 500 + episode,
+                            )
+                            entry["eval"] = {
+                                f"{prefix}/eval_episode_reward": eval_metrics[
+                                    "episode_reward"
+                                ],
+                                f"{prefix}/eval_collision_rate": eval_metrics[
+                                    "collision_rate"
+                                ],
+                                f"{prefix}/eval_merge_success_rate": eval_metrics[
+                                    "success_rate"
+                                ],
+                                f"{prefix}/eval_mean_speed": eval_metrics[
+                                    "mean_speed"
+                                ],
+                            }
+                        pending[episode] = entry
+                        while next_to_log in pending:
+                            flushed = pending.pop(next_to_log)
+                            logger.log_many(flushed["metrics"], next_to_log)
+                            for name, value in flushed["losses"].items():
+                                logger.log(name, value, next_to_log)
+                            if flushed["eval"]:
+                                logger.log_many(flushed["eval"], next_to_log)
+                            next_to_log += 1
+                    episode_of_env[i] = next_to_start
+                    next_to_start += 1
+            if next_to_log < episodes:
+                server.publish(
+                    {"q": export()}, np.stack([encode_rng_state(algorithm._rng)])
+                )
+        algorithm.epsilon = float(epsilon_schedule(episodes - 1))
+        return logger
+    finally:
+        _shutdown(server, queue, process)

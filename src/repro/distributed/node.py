@@ -25,7 +25,6 @@ class AgentNode:
         self.peer_ids = [p for p in peer_ids if p != node_id]
         bus.register(node_id)
         self._last_known: dict[str, int] = {peer: 0 for peer in self.peer_ids}
-        self._history: list[tuple[int, str, int, np.ndarray]] = []
 
     def announce(self, option: int, state: np.ndarray, timestamp: int) -> None:
         """Broadcast the currently-executing option with its state context."""
@@ -44,9 +43,6 @@ class AgentNode:
         for message in self.bus.receive(self.node_id):
             if isinstance(message, OptionAnnouncement):
                 self._last_known[message.sender] = message.option
-                self._history.append(
-                    (message.timestamp, message.sender, message.option, message.state)
-                )
                 announcements.append(message)
         return announcements
 
@@ -55,14 +51,6 @@ class AgentNode:
         return np.array(
             [self._last_known[peer] for peer in self.peer_ids], dtype=np.int64
         )
-
-    def history_for(self, peer: str) -> list[tuple[int, int]]:
-        """(timestamp, option) pairs observed for one peer."""
-        return [(t, o) for t, sender, o, _ in self._history if sender == peer]
-
-    @property
-    def history_length(self) -> int:
-        return len(self._history)
 
 
 class DistributedObservationService:

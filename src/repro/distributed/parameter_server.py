@@ -1,87 +1,249 @@
-"""Parameter-sharing service for low-level critics.
+"""Shared-memory snapshot server for the async actor–learner stack.
 
-Sec. III-D: "the training of critic can be realized by parameter sharing
-among distributed agents." The server keeps a versioned parameter blob
-per key; agents push local critic weights and pull merged ones. Merging
-averages the pushed parameters since the last pull — the simplest
-federated-style aggregation, adequate for homogeneous critics.
+The learner is the single writer: after each update round it publishes
+the flat parameter vector of every network family (one ``np.copyto`` per
+slot straight out of the fused optimizers' flat buffers) plus an RNG
+sidecar, under a monotonically increasing version.  Actors attach to the
+same shared-memory block and read the newest snapshot lock-free.
+
+Consistency uses double buffering plus a seqlock: each version ``v`` is
+written into buffer ``v & 1``, so a reader of version ``v`` is never
+overwritten before version ``v + 2`` starts — and the sequence counter
+(odd while a write is in flight) lets the reader detect the rare torn
+read and retry.  There are no locks on the hot path, so a slow actor can
+never stall the learner.
+
+Versioning doubles as the staleness contract: an actor records which
+version it acted with, the learner logs ``round - version`` histograms,
+and ``max_staleness=0`` degenerates to a lockstep barrier (actor waits
+for version ``r`` before round ``r``) that reproduces the synchronous
+loop bitwise.
 """
 
 from __future__ import annotations
 
+import time
+from multiprocessing import shared_memory
+
 import numpy as np
+
+from ..envs.sharded_env import _attach_shm
+from .protocol import RNG_WORDS
+
+__all__ = ["ParameterServer"]
+
+# Header: seqlock counter, published version (-1 = nothing yet), stop flag.
+_SEQ, _VERSION, _STOP = 0, 1, 2
+_HEADER_SLOTS = 3
+_HEADER_BYTES = _HEADER_SLOTS * 8
+
+_POLL_SLICE = 0.01
+
+
+def _align(offset: int) -> int:
+    return (offset + 7) & ~7
 
 
 class ParameterServer:
-    """Versioned key-value store with averaging aggregation."""
+    """Versioned double-buffered flat-parameter snapshots in shared memory.
 
-    def __init__(self):
-        self._store: dict[str, dict[str, np.ndarray]] = {}
-        self._versions: dict[str, int] = {}
-        self._pending: dict[str, list[dict[str, np.ndarray]]] = {}
+    ``slots`` maps slot name -> flat vector length (float64); ``num_rngs``
+    reserves uint64 sidecar space for that many PCG64 generator states
+    (see :mod:`repro.distributed.protocol`).  Constructed by the learner
+    (the owner and sole writer); actors receive a pickled handle that
+    re-attaches by segment name.
+    """
 
-    def push(self, key: str, parameters: dict[str, np.ndarray]) -> None:
-        """Stage one contributor's parameters for the next aggregation."""
-        copied = {name: np.array(value, copy=True) for name, value in parameters.items()}
-        self._pending.setdefault(key, []).append(copied)
+    def __init__(self, slots: dict[str, int], num_rngs: int = 0):
+        if not slots and num_rngs <= 0:
+            raise ValueError("need at least one parameter slot or RNG slot")
+        self.slot_sizes = {name: int(size) for name, size in slots.items()}
+        self.num_rngs = int(num_rngs)
+        offset = _HEADER_BYTES
+        self._param_offsets: dict[str, int] = {}
+        for name, size in self.slot_sizes.items():
+            if size < 0:
+                raise ValueError(f"slot {name!r} has negative size {size}")
+            self._param_offsets[name] = offset
+            offset = _align(offset + 2 * size * 8)
+        self._rng_offset = offset
+        offset = _align(offset + 2 * self.num_rngs * RNG_WORDS * 8)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._owner = True
+        self._closed = False
+        self._name = self._shm.name
+        self._bind_views()
+        self._header[:] = 0
+        self._header[_VERSION] = -1
 
-    def aggregate(self, key: str) -> int:
-        """Average staged contributions into the served copy; bump version."""
-        staged = self._pending.pop(key, [])
-        if not staged:
-            return self._versions.get(key, 0)
-        names = staged[0].keys()
-        for contribution in staged[1:]:
-            if contribution.keys() != names:
-                raise ValueError("parameter structure mismatch among contributors")
-        merged = {
-            name: np.mean([c[name] for c in staged], axis=0) for name in names
+    # ------------------------------------------------------------------
+    # Attachment / pickling
+    # ------------------------------------------------------------------
+    def _bind_views(self) -> None:
+        buf = self._shm.buf
+        self._header = np.ndarray(_HEADER_SLOTS, dtype=np.int64, buffer=buf)
+        # Per-slot (2, size) float64 double buffers, indexed by version & 1.
+        self._params = {
+            name: np.ndarray(
+                (2, size), dtype=np.float64, buffer=buf, offset=self._param_offsets[name]
+            )
+            for name, size in self.slot_sizes.items()
         }
-        self._store[key] = merged
-        self._versions[key] = self._versions.get(key, 0) + 1
-        return self._versions[key]
+        self._rngs = np.ndarray(
+            (2, self.num_rngs, RNG_WORDS),
+            dtype=np.uint64,
+            buffer=buf,
+            offset=self._rng_offset,
+        )
 
-    def pull(self, key: str) -> tuple[int, dict[str, np.ndarray]] | None:
-        """Latest (version, parameters) or None if never aggregated."""
-        if key not in self._store:
-            return None
-        parameters = {
-            name: value.copy() for name, value in self._store[key].items()
+    def __getstate__(self):
+        return {
+            "slot_sizes": self.slot_sizes,
+            "num_rngs": self.num_rngs,
+            "param_offsets": self._param_offsets,
+            "rng_offset": self._rng_offset,
+            "name": self._name,
         }
-        return self._versions[key], parameters
 
-    def version(self, key: str) -> int:
-        return self._versions.get(key, 0)
+    def __setstate__(self, state):
+        self.slot_sizes = state["slot_sizes"]
+        self.num_rngs = state["num_rngs"]
+        self._param_offsets = state["param_offsets"]
+        self._rng_offset = state["rng_offset"]
+        self._name = state["name"]
+        self._owner = False
+        self._closed = False
+        self._shm = _attach_shm(self._name)
+        self._bind_views()
 
-    def keys(self) -> list[str]:
-        return sorted(self._store)
+    # ------------------------------------------------------------------
+    # Writer side (learner only)
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        vectors: dict[str, np.ndarray],
+        rng_words: np.ndarray | None = None,
+    ) -> int:
+        """Publish one snapshot; returns the new version.
 
-
-class SharedCriticSynchroniser:
-    """Periodic push/aggregate/pull cycle for a group of SAC agents."""
-
-    def __init__(self, server: ParameterServer, key: str, period: int = 10):
-        if period <= 0:
-            raise ValueError(f"period must be positive, got {period}")
-        self.server = server
-        self.key = key
-        self.period = period
-        self._step = 0
-
-    def maybe_sync(self, agents: list) -> bool:
-        """Every ``period`` calls: average all agents' critic weights.
-
-        ``agents`` are objects exposing ``critic.state_dict`` /
-        ``critic.load_state_dict`` (e.g. :class:`repro.core.SACAgent`).
-        Returns True when a sync happened.
+        ``vectors`` must cover every slot exactly; ``rng_words`` is a
+        ``(num_rngs, RNG_WORDS)`` uint64 array when the server carries RNG
+        state.  Odd/even transitions of the sequence counter bracket the
+        write so readers can detect tearing.
         """
-        self._step += 1
-        if self._step % self.period != 0:
-            return False
-        for agent in agents:
-            self.server.push(self.key, agent.critic.state_dict())
-        self.server.aggregate(self.key)
-        _, merged = self.server.pull(self.key)
-        for agent in agents:
-            agent.critic.load_state_dict(merged)
-        return True
+        if set(vectors) != set(self.slot_sizes):
+            raise ValueError(
+                f"vectors keys {sorted(vectors)} != slots {sorted(self.slot_sizes)}"
+            )
+        version = int(self._header[_VERSION]) + 1
+        buf = version & 1
+        self._header[_SEQ] += 1  # odd: write in flight
+        for name, vector in vectors.items():
+            flat = np.asarray(vector, dtype=np.float64).ravel()
+            if flat.size != self.slot_sizes[name]:
+                raise ValueError(
+                    f"slot {name!r} expects {self.slot_sizes[name]} values, "
+                    f"got {flat.size}"
+                )
+            np.copyto(self._params[name][buf], flat)
+        if self.num_rngs:
+            if rng_words is None:
+                raise ValueError("server carries RNG state but none was published")
+            words = np.asarray(rng_words, dtype=np.uint64)
+            if words.shape != (self.num_rngs, RNG_WORDS):
+                raise ValueError(
+                    f"rng_words shape {words.shape} != {(self.num_rngs, RNG_WORDS)}"
+                )
+            np.copyto(self._rngs[buf], words)
+        self._header[_VERSION] = version
+        self._header[_SEQ] += 1  # even: write complete
+        return version
+
+    def request_stop(self) -> None:
+        """Signal attached actors to shut down (checked in their read polls)."""
+        self._header[_STOP] = 1
+
+    @property
+    def stop_requested(self) -> bool:
+        return bool(self._header[_STOP])
+
+    @property
+    def version(self) -> int:
+        """Latest published version (-1 before the first publish)."""
+        return int(self._header[_VERSION])
+
+    # ------------------------------------------------------------------
+    # Reader side (actors)
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        min_version: int = 0,
+        timeout: float | None = None,
+        abort=None,
+    ) -> tuple[int, dict[str, np.ndarray], np.ndarray]:
+        """Read the newest snapshot with version >= ``min_version``.
+
+        Blocks (polling) until such a version exists.  ``abort`` is an
+        optional callable returning an error message when waiting should
+        stop (dead learner, stop flag) — raised as RuntimeError.  Returns
+        ``(version, {slot: vector copy}, rng_words copy)``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            version = int(self._header[_VERSION])
+            if version >= min_version:
+                snapshot = self._try_read(version)
+                if snapshot is not None:
+                    return snapshot
+                continue  # torn read: a newer version is landing, retry now
+            if self._header[_STOP]:
+                raise RuntimeError("parameter server stopped while waiting")
+            if abort is not None:
+                message = abort()
+                if message:
+                    raise RuntimeError(message)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no snapshot >= version {min_version} within {timeout:.1f}s"
+                )
+            time.sleep(_POLL_SLICE)
+
+    def _try_read(self, version: int):
+        """Seqlock read of one version's buffer; None on a torn read."""
+        seq_before = int(self._header[_SEQ])
+        if seq_before & 1:
+            return None
+        buf = version & 1
+        vectors = {name: arr[buf].copy() for name, arr in self._params.items()}
+        rng_words = self._rngs[buf].copy()
+        # The copy is consistent iff no write started or finished meanwhile
+        # and the buffer we read still holds `version` (not version + 2).
+        if int(self._header[_SEQ]) != seq_before:
+            return None
+        if int(self._header[_VERSION]) - version >= 2:
+            return None
+        return version, vectors, rng_words
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Close this mapping (and unlink when owner); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._header = None
+        self._params = None
+        self._rngs = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self):
+        try:
+            self.release()
+        except Exception:
+            pass

@@ -1,9 +1,13 @@
-"""Message types exchanged on the simulated vehicle network.
+"""Wire types for the distributed runtime.
 
-The paper's observability model (Sec. III-A) is that each agent sees only
-the *historical* states and high-level actions of the others — here that
-history arrives as :class:`OptionAnnouncement` messages over a lossy,
-delayed bus, exactly as vehicle-to-vehicle beacons would.
+Two kinds of traffic live here. The simulated vehicle network (Sec.
+III-A observability model) still exchanges :class:`OptionAnnouncement`
+beacons over the lossy, delayed bus. The async actor–learner stack adds
+its own vocabulary: pickled :class:`RolloutPayload` /
+:class:`ActorError` frames on the shared-memory transition queue, and a
+fixed-width RNG codec so ``numpy`` PCG64 generator state can ride inside
+the parameter server's flat uint64 sidecar (a snapshot must carry the
+learner's post-update RNG state for the lockstep determinism contract).
 """
 
 from __future__ import annotations
@@ -11,6 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+# ---------------------------------------------------------------------------
+# Simulated vehicle network (bus / node demo)
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -29,17 +37,101 @@ class OptionAnnouncement(Message):
     state: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
 
-@dataclass(frozen=True)
-class ParameterUpdate(Message):
-    """Push of network parameters for low-level critic sharing."""
-
-    key: str = ""
-    version: int = 0
-    parameters: dict = field(default_factory=dict)
+# ---------------------------------------------------------------------------
+# Async actor–learner traffic
+# ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class ParameterRequest(Message):
-    """Pull request for the latest shared parameters."""
+@dataclass
+class RolloutPayload:
+    """One collection round's worth of experience from an actor.
 
-    key: str = ""
+    ``round_index`` counts collection rounds on the actor;
+    ``version_used`` is the snapshot version the actor acted with, so the
+    learner can log staleness (``round_index - version_used``).  ``data``
+    is method-specific (the HERO capture log or the IDQN step rows) and
+    ``rng_states`` carries the actor's post-collection generator states
+    for the lockstep handoff (empty when staleness is allowed).
+    """
+
+    round_index: int
+    version_used: int
+    data: dict = field(default_factory=dict)
+    rng_states: list = field(default_factory=list)
+
+
+@dataclass
+class ActorError:
+    """Terminal failure report; the learner re-raises it as RuntimeError."""
+
+    message: str
+
+
+# ---------------------------------------------------------------------------
+# PCG64 generator state codec
+# ---------------------------------------------------------------------------
+
+# A PCG64 state dict packs into six uint64 words: the 128-bit state and
+# 128-bit increment (hi/lo halves each) plus the cached-uint32 flag pair.
+RNG_WORDS = 6
+_MASK64 = (1 << 64) - 1
+
+
+def encode_rng_state(gen: np.random.Generator) -> np.ndarray:
+    """Pack a PCG64 generator's state into six uint64 words."""
+    state = gen.bit_generator.state
+    if state["bit_generator"] != "PCG64":
+        raise ValueError(
+            f"only PCG64 generators are supported, got {state['bit_generator']}"
+        )
+    s = state["state"]["state"]
+    inc = state["state"]["inc"]
+    return np.array(
+        [
+            (s >> 64) & _MASK64,
+            s & _MASK64,
+            (inc >> 64) & _MASK64,
+            inc & _MASK64,
+            int(state["has_uint32"]),
+            int(state["uinteger"]),
+        ],
+        dtype=np.uint64,
+    )
+
+
+def decode_rng_state(words: np.ndarray) -> dict:
+    """Unpack six uint64 words back into a PCG64 state dict."""
+    w = [int(x) for x in np.asarray(words, dtype=np.uint64)]
+    if len(w) != RNG_WORDS:
+        raise ValueError(f"expected {RNG_WORDS} words, got {len(w)}")
+    return {
+        "bit_generator": "PCG64",
+        "state": {"state": (w[0] << 64) | w[1], "inc": (w[2] << 64) | w[3]},
+        "has_uint32": w[4],
+        "uinteger": w[5],
+    }
+
+
+def load_rng_state(gen: np.random.Generator, state: dict | np.ndarray) -> None:
+    """Restore generator state *in place*.
+
+    Several components deliberately share one ``Generator`` object (e.g.
+    a high-level agent and its opponent model), so the state must be set
+    on the existing bit generator — replacing the ``Generator`` would
+    silently decouple the aliases.
+    """
+    if not isinstance(state, dict):
+        state = decode_rng_state(state)
+    gen.bit_generator.state = state
+
+
+__all__ = [
+    "ActorError",
+    "Message",
+    "OptionAnnouncement",
+    "RNG_WORDS",
+    "RolloutPayload",
+    "decode_rng_state",
+    "encode_rng_state",
+    "load_rng_state",
+]

@@ -1,0 +1,233 @@
+"""Shared-memory transition queue for the async actor–learner stack.
+
+:class:`ShmRingQueue` is a bounded single-producer / single-consumer byte
+ring over one ``multiprocessing.shared_memory`` block.  Payloads are
+pickled into length-prefixed frames, so arbitrary rollout payloads
+(transition batches, stats, RNG states, error reports) cross the process
+boundary without a pipe; the bounded capacity is the stack's backpressure
+mechanism — when the learner falls behind, :meth:`put` blocks until the
+consumer drains a frame, which throttles the actor instead of letting the
+queue grow without bound.
+
+Liveness: both ends poll in short slices and run an optional ``abort``
+callback between slices, so a dead peer (crashed actor, killed learner)
+surfaces as a :class:`RuntimeError` naming the failure instead of a hang.
+Ownership mirrors :class:`~repro.envs.sharded_env.ShardedVectorEnv`: the
+creating process unlinks the segment exactly once; attached copies (the
+pickled handle a worker receives) only close their mapping.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..envs.sharded_env import _attach_shm
+
+__all__ = ["QueueClosed", "ShmRingQueue"]
+
+# Header: monotonically increasing byte counters (positions are taken
+# modulo the data capacity) plus the closed flag.
+_HEAD, _TAIL, _CLOSED = 0, 1, 2
+_HEADER_SLOTS = 3
+_HEADER_BYTES = _HEADER_SLOTS * 8
+_LEN_BYTES = 8
+
+# Poll slice for condition waits: short enough that peer death is noticed
+# promptly, long enough that an idle queue costs nothing.
+_WAIT_SLICE = 0.2
+
+
+class QueueClosed(Exception):
+    """The queue was closed by the peer; no further frames will flow."""
+
+
+class ShmRingQueue:
+    """Bounded SPSC byte-ring queue of pickled frames in shared memory.
+
+    ``capacity`` bounds the payload region in bytes; one frame costs its
+    pickle size plus an 8-byte length prefix.  A frame larger than the
+    whole ring is rejected outright (it could never fit), which keeps the
+    blocking :meth:`put` free of deadlocks-by-construction.
+    """
+
+    def __init__(self, capacity: int = 8 << 20, context=None):
+        if capacity <= _LEN_BYTES:
+            raise ValueError(f"capacity must exceed {_LEN_BYTES} bytes, got {capacity}")
+        ctx = context or mp.get_context()
+        self.capacity = int(capacity)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER_BYTES + self.capacity
+        )
+        self._owner = True
+        self._closed_local = False
+        self._name = self._shm.name
+        self._lock = ctx.Lock()
+        self._not_full = ctx.Condition(self._lock)
+        self._not_empty = ctx.Condition(self._lock)
+        self._bind_views()
+        self._header[:] = 0
+
+    # ------------------------------------------------------------------
+    # Attachment / pickling (crosses the process boundary once at spawn)
+    # ------------------------------------------------------------------
+    def _bind_views(self) -> None:
+        self._header = np.ndarray(_HEADER_SLOTS, dtype=np.int64, buffer=self._shm.buf)
+        self._data = np.ndarray(
+            self.capacity, dtype=np.uint8, buffer=self._shm.buf, offset=_HEADER_BYTES
+        )
+
+    def __getstate__(self):
+        return {
+            "capacity": self.capacity,
+            "name": self._name,
+            "lock": self._lock,
+            "not_full": self._not_full,
+            "not_empty": self._not_empty,
+        }
+
+    def __setstate__(self, state):
+        self.capacity = state["capacity"]
+        self._name = state["name"]
+        self._lock = state["lock"]
+        self._not_full = state["not_full"]
+        self._not_empty = state["not_empty"]
+        self._owner = False
+        self._closed_local = False
+        self._shm = _attach_shm(self._name)
+        self._bind_views()
+
+    # ------------------------------------------------------------------
+    # Ring primitives (caller holds the lock)
+    # ------------------------------------------------------------------
+    def _used(self) -> int:
+        return int(self._header[_TAIL] - self._header[_HEAD])
+
+    def _write_bytes(self, data: bytes) -> None:
+        pos = int(self._header[_TAIL]) % self.capacity
+        first = min(len(data), self.capacity - pos)
+        self._data[pos : pos + first] = np.frombuffer(data[:first], dtype=np.uint8)
+        if first < len(data):
+            rest = data[first:]
+            self._data[: len(rest)] = np.frombuffer(rest, dtype=np.uint8)
+        self._header[_TAIL] += len(data)
+
+    def _read_bytes(self, count: int) -> bytes:
+        pos = int(self._header[_HEAD]) % self.capacity
+        first = min(count, self.capacity - pos)
+        out = bytes(self._data[pos : pos + first])
+        if first < count:
+            out += bytes(self._data[: count - first])
+        self._header[_HEAD] += count
+        return out
+
+    @staticmethod
+    def _check_abort(abort) -> None:
+        if abort is None:
+            return
+        message = abort()
+        if message:
+            raise RuntimeError(message)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def put(self, payload, timeout: float | None = None, abort=None) -> None:
+        """Pickle ``payload`` and append it; blocks while the ring is full.
+
+        ``abort`` (optional callable) is polled between wait slices and
+        should return an error message when the peer is gone — raised as a
+        :class:`RuntimeError`.  Raises :class:`QueueClosed` once the queue
+        is closed and :class:`TimeoutError` past ``timeout`` seconds.
+        """
+        frame = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        needed = _LEN_BYTES + len(frame)
+        if needed > self.capacity:
+            raise ValueError(
+                f"frame of {needed} bytes exceeds queue capacity {self.capacity}"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while True:
+                if self._header[_CLOSED]:
+                    raise QueueClosed("queue is closed")
+                if self.capacity - self._used() >= needed:
+                    self._write_bytes(
+                        int(len(frame)).to_bytes(_LEN_BYTES, "little") + frame
+                    )
+                    self._not_empty.notify()
+                    return
+                self._check_abort(abort)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"queue full for {timeout:.1f}s (consumer not draining)"
+                    )
+                self._not_full.wait(_WAIT_SLICE)
+
+    def get(self, timeout: float | None = None, abort=None):
+        """Pop and unpickle the oldest frame; blocks while the ring is empty.
+
+        Raises :class:`QueueClosed` when the queue is closed *and* drained
+        (frames already enqueued before the close are still delivered),
+        :class:`RuntimeError` via ``abort`` and :class:`TimeoutError` past
+        ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while True:
+                if self._used() >= _LEN_BYTES:
+                    length = int.from_bytes(self._read_bytes(_LEN_BYTES), "little")
+                    frame = self._read_bytes(length)
+                    self._not_full.notify()
+                    break
+                if self._header[_CLOSED]:
+                    raise QueueClosed("queue is closed and drained")
+                self._check_abort(abort)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"queue empty for {timeout:.1f}s (producer not producing)"
+                    )
+                self._not_empty.wait(_WAIT_SLICE)
+        return pickle.loads(frame)
+
+    def qsize_bytes(self) -> int:
+        """Bytes currently enqueued (frames plus their length prefixes)."""
+        with self._lock:
+            return self._used()
+
+    def close(self) -> None:
+        """Mark the queue closed and wake both ends; idempotent.
+
+        A closed queue rejects new :meth:`put` calls; :meth:`get` drains
+        what remains, then raises :class:`QueueClosed`.
+        """
+        if self._closed_local:
+            return
+        with self._lock:
+            self._header[_CLOSED] = 1
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def release(self) -> None:
+        """Close this process's mapping (and unlink when owner); idempotent."""
+        if self._closed_local:
+            return
+        self._closed_local = True
+        self._header = None
+        self._data = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self):
+        try:
+            self.release()
+        except Exception:
+            pass

@@ -103,6 +103,8 @@ def train_hero_method(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> TrainedMethod:
     """Two-stage HERO training (Algorithm 2 then Algorithm 1).
 
@@ -110,13 +112,18 @@ def train_hero_method(
     the high-level team update — through the fused
     :class:`repro.core.update_engine.UpdateEngine` families.
     ``num_workers > 1`` shards the vectorized rollout batch across worker
-    processes (applies when ``num_envs > 1``).
+    processes (applies when ``num_envs > 1``).  ``async_actors`` moves the
+    rollout phase to a separate actor process on the async actor–learner
+    stack; ``max_staleness`` bounds how far it may run ahead of the newest
+    policy snapshot (0 = lockstep, bitwise equal to the synchronous path).
     """
     config = TrainingConfig(
         seed=seed,
         num_envs=num_envs,
         num_workers=num_workers,
         fused_updates=fused_updates,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
     )
     config.scenario = scenario
     config.rewards = rewards
@@ -169,6 +176,8 @@ def train_baseline_method(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
     **baseline_kwargs,
 ) -> TrainedMethod:
     """Train one end-to-end baseline.
@@ -181,9 +190,22 @@ def train_baseline_method(
     ``num_envs == 1`` keeps the scalar loop (the two are metric-identical
     at one env).  ``num_workers > 1`` shards the vectorized batch across
     worker processes; the pool is shut down before returning.
+    ``async_actors`` runs the rollouts in a separate actor process (IDQN
+    only; other baselines warn and fall back); ``max_staleness=0`` keeps
+    the run bitwise equal to the synchronous vectorized loop.
     """
     env = make_baseline_env(scenario=scenario, rewards=rewards)
     algo = make_baseline(name, env, seed=seed, **baseline_kwargs)
+    if async_actors and num_envs <= 1:
+        import warnings
+
+        warnings.warn(
+            "async_actors needs num_envs > 1 (the actor process steps a "
+            "vectorized env batch); falling back to the synchronous scalar loop",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        async_actors = False
     if num_envs > 1:
         vec_env = make_baseline_vector_env(
             num_envs, scenario=scenario, rewards=rewards, num_workers=num_workers
@@ -197,6 +219,8 @@ def train_baseline_method(
                 updates_per_episode=updates_per_episode,
                 epsilon_decay_episodes=max(episodes // 2, 1),
                 fused_updates=fused_updates,
+                async_actors=async_actors,
+                max_staleness=max_staleness,
             )
         finally:
             vec_env.close()
@@ -228,6 +252,8 @@ def train_all_methods(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> ExperimentResult:
     """Train HERO and the baselines on the shared scenario.
 
@@ -240,7 +266,11 @@ def train_all_methods(
     the same way.  ``num_workers > 1`` additionally shards each method's
     env batch across that many worker processes
     (:class:`~repro.envs.sharded_env.ShardedVectorEnv`) — results are
-    bit-for-bit identical at any worker count.
+    bit-for-bit identical at any worker count.  ``async_actors`` runs each
+    supporting method's rollouts in a separate actor process on the async
+    actor–learner stack (``repro.distributed.actor_learner``; HERO and
+    IDQN — the other baselines warn and stay synchronous);
+    ``max_staleness=0`` keeps async runs bitwise equal to synchronous.
     """
     methods = methods or METHOD_NAMES
     scenario = scenario or bench_scenario()
@@ -266,6 +296,8 @@ def train_all_methods(
                 num_envs=num_envs,
                 num_workers=num_workers,
                 fused_updates=fused_updates,
+                async_actors=async_actors,
+                max_staleness=max_staleness,
             )
         else:
             trained = train_baseline_method(
@@ -277,6 +309,8 @@ def train_all_methods(
                 num_envs=num_envs,
                 num_workers=num_workers,
                 fused_updates=fused_updates,
+                async_actors=async_actors,
+                max_staleness=max_staleness,
             )
         result.methods[name] = trained
     return result

@@ -22,6 +22,8 @@ def run_fig11(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> dict:
     result = result or train_all_methods(
         scale=scale,
@@ -29,6 +31,8 @@ def run_fig11(
         num_envs=num_envs,
         num_workers=num_workers,
         fused_updates=fused_updates,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
     )
     speeds = {}
     collisions = {}

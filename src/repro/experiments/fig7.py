@@ -30,6 +30,8 @@ def run_fig7(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> dict:
     """Train all methods and collect the three Fig. 7 panels.
 
@@ -48,6 +50,8 @@ def run_fig7(
         num_envs=num_envs,
         num_workers=num_workers,
         fused_updates=fused_updates,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
     )
     panels: dict[str, dict[str, np.ndarray]] = {}
     for panel, (metric, _) in PANELS.items():

@@ -22,10 +22,13 @@ def run_fig8(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> dict:
-    """``num_envs``/``num_workers`` are accepted for CLI uniformity; skill
-    training is single-agent and stays scalar.  ``fused_updates`` runs the
-    SAC updates through the fused twin-critic/actor engine."""
+    """``num_envs``/``num_workers``/``async_actors``/``max_staleness`` are
+    accepted for CLI uniformity; skill training is single-agent and stays
+    scalar.  ``fused_updates`` runs the SAC updates through the fused
+    twin-critic/actor engine."""
     config = TrainingConfig(seed=seed, fused_updates=fused_updates)
     config.scenario = bench_scenario()
     episodes = episodes_from_scale(scale)

@@ -70,6 +70,8 @@ def run_experiment(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> dict:
     """Run one experiment end to end and print its report.
 
@@ -81,7 +83,11 @@ def run_experiment(
     (``repro.envs.sharded_env``) — bit-for-bit identical results at any
     worker count.  ``fused_updates`` batches every method's gradient
     phase through ``repro.core.update_engine`` (tolerance-equivalent, not
-    bitwise).
+    bitwise).  ``async_actors`` runs rollouts in a separate actor process
+    on the async actor–learner stack (``repro.distributed.actor_learner``;
+    HERO and IDQN), with ``max_staleness`` bounding how far the actor may
+    run ahead of the newest policy snapshot (0 = lockstep, bitwise equal
+    to the synchronous path).
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
@@ -92,6 +98,8 @@ def run_experiment(
         num_envs=num_envs,
         num_workers=num_workers,
         fused_updates=fused_updates,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
     )
     experiment.report(outputs)
     return outputs

@@ -79,6 +79,8 @@ def run_table2(
     num_envs: int = 1,
     num_workers: int = 1,
     fused_updates: bool = False,
+    async_actors: bool = False,
+    max_staleness: int = 0,
 ) -> dict:
     """Train all methods (vectorized when ``num_envs > 1``, sharded across
     worker processes when ``num_workers > 1``, including the interleaved
@@ -97,6 +99,8 @@ def run_table2(
         num_envs=num_envs,
         num_workers=num_workers,
         fused_updates=fused_updates,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
     )
     rows = {}
     for name, trained in result.methods.items():

@@ -1,0 +1,260 @@
+"""Async actor–learner stack: equivalence, staleness, and lifecycle locks.
+
+The contract under test (``repro.distributed.actor_learner``):
+
+* ``async_actors`` with ``max_staleness=0`` (lockstep barrier) is
+  **bit-for-bit** equal to the synchronous vectorized loop — metrics,
+  logged steps and final network weights — for HERO (``train_hero``) and
+  IDQN (``train_marl_vectorized``), plain and fused;
+* ``max_staleness > 0`` runs, logs a per-round snapshot-staleness series
+  bounded by the budget, and still produces the full metric set;
+* the shared-memory transition queue exerts backpressure: a producer
+  that outruns the consumer blocks instead of growing the queue;
+* an actor crash — including a shard worker dying inside the actor's
+  ``ShardedVectorEnv`` — surfaces as a ``RuntimeError`` naming the
+  failing shard, not a hang;
+* a finished (or failed) run leaves no orphan processes and unlinks
+  every shared-memory segment it created.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline, train_marl_vectorized
+from repro.config import ScenarioConfig, TrainingConfig
+from repro.core import HeroTeam, train_hero
+from repro.distributed import ParameterServer, ShmRingQueue
+from repro.distributed import actor_learner
+from repro.envs import (
+    CooperativeLaneChangeEnv,
+    EnvReplicaFactory,
+    make_baseline_vector_env,
+)
+
+SCENARIO = ScenarioConfig(episode_length=5)
+
+
+def _hero_run(async_actors: bool, *, fused: bool = False, max_staleness: int = 0):
+    config = TrainingConfig(seed=0)
+    config.scenario = SCENARIO
+    env = CooperativeLaneChangeEnv(scenario=SCENARIO)
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=32)
+    logger = train_hero(
+        env,
+        team,
+        episodes=3,
+        config=config,
+        num_envs=2,
+        eval_every=2,
+        eval_episodes=2,
+        fused_updates=fused,
+        async_actors=async_actors,
+        max_staleness=max_staleness,
+    )
+    return logger, team
+
+
+def _idqn_run(async_actors: bool, *, fused: bool = False, max_staleness: int = 0):
+    vec_env = make_baseline_vector_env(2, scenario=SCENARIO)
+    algo = make_baseline("idqn", vec_env, seed=3, batch_size=16, buffer_capacity=500)
+    try:
+        logger = train_marl_vectorized(
+            vec_env,
+            algo,
+            episodes=4,
+            seed=5,
+            eval_every=2,
+            eval_episodes=2,
+            fused_updates=fused,
+            async_actors=async_actors,
+            max_staleness=max_staleness,
+        )
+    finally:
+        vec_env.close()
+    return logger, algo
+
+
+def _assert_logs_equal(log_a, log_b):
+    assert sorted(log_a.names()) == sorted(log_b.names())
+    for name in log_a.names():
+        np.testing.assert_array_equal(log_a.steps(name), log_b.steps(name), err_msg=name)
+        np.testing.assert_array_equal(
+            log_a.values(name), log_b.values(name), err_msg=name
+        )
+
+
+# ----------------------------------------------------------------------
+# Lockstep bitwise equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fused", [False, True], ids=["plain", "fused"])
+def test_hero_lockstep_matches_sync_bitwise(fused):
+    log_sync, team_sync = _hero_run(False, fused=fused)
+    log_async, team_async = _hero_run(True, fused=fused)
+    _assert_logs_equal(log_sync, log_async)
+    state_sync, state_async = team_sync.state_dict(), team_async.state_dict()
+    assert state_sync.keys() == state_async.keys()
+    for key in state_sync:
+        np.testing.assert_array_equal(state_sync[key], state_async[key], err_msg=key)
+
+
+@pytest.mark.parametrize("fused", [False, True], ids=["plain", "fused"])
+def test_idqn_lockstep_matches_sync_bitwise(fused):
+    log_sync, algo_sync = _idqn_run(False, fused=fused)
+    log_async, algo_async = _idqn_run(True, fused=fused)
+    _assert_logs_equal(log_sync, log_async)
+    for agent in algo_sync.agent_ids:
+        for p_sync, p_async in zip(
+            algo_sync.q_networks[agent].trunk.parameters(),
+            algo_async.q_networks[agent].trunk.parameters(),
+        ):
+            np.testing.assert_array_equal(p_sync.data, p_async.data, err_msg=agent)
+
+
+def test_non_idqn_baseline_falls_back_with_warning():
+    vec_env = make_baseline_vector_env(2, scenario=SCENARIO)
+    algo = make_baseline("coma", vec_env, seed=3)
+    try:
+        with pytest.warns(RuntimeWarning, match="IDQN only"):
+            train_marl_vectorized(
+                vec_env, algo, episodes=1, seed=5, eval_every=0, async_actors=True
+            )
+    finally:
+        vec_env.close()
+
+
+def test_hero_scalar_loop_falls_back_with_warning():
+    env = CooperativeLaneChangeEnv(scenario=SCENARIO)
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=32)
+    config = TrainingConfig(seed=0)
+    config.scenario = SCENARIO
+    with pytest.warns(RuntimeWarning, match="num_envs > 1"):
+        train_hero(
+            env,
+            team,
+            episodes=1,
+            config=config,
+            num_envs=1,
+            eval_every=0,
+            async_actors=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# Staleness mode + lifecycle (shared run: versions, orphans, shm)
+# ----------------------------------------------------------------------
+_CREATED_SEGMENTS: list[str] = []
+
+
+class _RecordingServer(ParameterServer):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        _CREATED_SEGMENTS.append(self._name)
+
+
+class _RecordingQueue(ShmRingQueue):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        _CREATED_SEGMENTS.append(self._name)
+
+
+def test_staleness_run_logs_bounded_versions_and_cleans_up(monkeypatch):
+    monkeypatch.setattr(actor_learner, "ParameterServer", _RecordingServer)
+    monkeypatch.setattr(actor_learner, "ShmRingQueue", _RecordingQueue)
+    _CREATED_SEGMENTS.clear()
+    before = {proc.pid for proc in mp.active_children()}
+
+    logger, _ = _hero_run(True, max_staleness=2)
+
+    staleness = logger.values("hero/snapshot_staleness")
+    assert staleness.size > 0
+    assert (staleness >= 0).all() and (staleness <= 2).all()
+    rounds = logger.steps("hero/snapshot_staleness")
+    assert (np.diff(rounds) > 0).all(), "rounds must be logged monotonically"
+    # Staleness mode must not drop episodes: the full metric set is there.
+    assert logger.values("hero/episode_reward").size == 3
+
+    after = {proc.pid for proc in mp.active_children()}
+    assert after <= before, "async run leaked processes"
+    assert len(_CREATED_SEGMENTS) == 2  # parameter server + transition queue
+    for name in _CREATED_SEGMENTS:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Queue backpressure
+# ----------------------------------------------------------------------
+def _producer_main(queue: ShmRingQueue, frames: int):
+    for index in range(frames):
+        queue.put(("frame", index, np.zeros(64)))
+
+
+def test_queue_backpressure_throttles_producer():
+    ctx = mp.get_context("spawn")
+    # Capacity fits ~2 frames; the producer must block, not overrun.
+    queue = ShmRingQueue(capacity=2048, context=ctx)
+    producer = ctx.Process(target=_producer_main, args=(queue, 10))
+    producer.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while queue.qsize_bytes() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.3)  # give the producer time to (wrongly) finish
+        assert producer.is_alive(), "producer should be blocked on the full ring"
+        for index in range(10):
+            tag, got, payload = queue.get(timeout=10.0)
+            assert (tag, got) == ("frame", index)
+            np.testing.assert_array_equal(payload, np.zeros(64))
+        producer.join(timeout=10.0)
+        assert producer.exitcode == 0
+    finally:
+        if producer.is_alive():
+            producer.terminate()
+            producer.join()
+        queue.release()
+
+
+# ----------------------------------------------------------------------
+# Crash propagation
+# ----------------------------------------------------------------------
+class _ExplodingEnv(CooperativeLaneChangeEnv):
+    def step(self, actions):
+        raise RuntimeError("injected failure")
+
+
+class _ExplodingFactory:
+    """Drop-in for EnvReplicaFactory that builds exploding replicas."""
+
+    def __init__(self, scenario=None, rewards=None, track=None, scripted_policy=None):
+        self.scenario = scenario
+
+    def __call__(self):
+        return _ExplodingEnv(scenario=self.scenario)
+
+
+def test_actor_crash_names_failing_shard(monkeypatch):
+    monkeypatch.setattr(actor_learner, "EnvReplicaFactory", _ExplodingFactory)
+    before = {proc.pid for proc in mp.active_children()}
+    config = TrainingConfig(seed=0)
+    config.scenario = SCENARIO
+    env = CooperativeLaneChangeEnv(scenario=SCENARIO)
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=32)
+    with pytest.raises(RuntimeError, match=r"envs \[0, 2\).*injected failure"):
+        train_hero(
+            env,
+            team,
+            episodes=3,
+            config=config,
+            num_envs=4,
+            num_workers=2,
+            eval_every=0,
+            async_actors=True,
+        )
+    after = {proc.pid for proc in mp.active_children()}
+    assert after <= before, "failed async run leaked processes"

@@ -1,17 +1,22 @@
-"""Tests for the message bus, agent nodes and parameter server."""
+"""Tests for the message bus, agent nodes and the async-stack primitives
+(shared-memory parameter server, transition queue, RNG codec)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import SACAgent
 from repro.distributed import (
     DistributedObservationService,
     MessageBus,
     OptionAnnouncement,
     ParameterServer,
-    SharedCriticSynchroniser,
+    QueueClosed,
+    RolloutPayload,
+    ShmRingQueue,
+    decode_rng_state,
+    encode_rng_state,
+    load_rng_state,
 )
 
 
@@ -133,15 +138,6 @@ class TestAgentNode:
         # Now the first announcement (option 2) has arrived — stale by design.
         assert service.observed_options("a")[0] in (2, 3)
 
-    def test_history_accumulates(self):
-        service = DistributedObservationService(["a", "b"], latency_steps=0)
-        for t in range(5):
-            service.exchange({"a": (1, np.zeros(1)), "b": (t % 4, np.zeros(1))}, t)
-        node = service.nodes["a"]
-        history = node.history_for("b")
-        assert len(history) == 5
-        assert [o for _, o in history] == [0, 1, 2, 3, 0]
-
     def test_lossy_bus_keeps_last_known(self):
         service = DistributedObservationService(
             ["a", "b"], latency_steps=0, drop_probability=0.9, seed=3
@@ -152,92 +148,238 @@ class TestAgentNode:
         assert service.observed_options("a")[0] == 2
 
 
+class TestRngCodec:
+    def test_roundtrip_preserves_stream(self):
+        gen = np.random.default_rng(42)
+        gen.uniform(size=17)  # advance off the seed state
+        words = encode_rng_state(gen)
+        expected = gen.uniform(size=5)  # consumes the encoded state
+
+        fresh = np.random.default_rng(0)
+        load_rng_state(fresh, words)
+        np.testing.assert_array_equal(fresh.uniform(size=5), expected)
+
+    def test_decode_matches_bit_generator_state(self):
+        gen = np.random.default_rng(7)
+        state = decode_rng_state(encode_rng_state(gen))
+        assert state == gen.bit_generator.state
+
+    def test_load_is_in_place(self):
+        # Components share Generator objects (agent + opponent model), so
+        # restoring state must not swap the Generator out from under them.
+        gen = np.random.default_rng(1)
+        alias = gen
+        load_rng_state(gen, encode_rng_state(np.random.default_rng(2)))
+        assert alias is gen
+        np.testing.assert_array_equal(
+            alias.uniform(size=3), np.random.default_rng(2).uniform(size=3)
+        )
+
+    def test_wrong_word_count_rejected(self):
+        with pytest.raises(ValueError):
+            decode_rng_state(np.zeros(4, dtype=np.uint64))
+
+
 class TestParameterServer:
-    def test_pull_before_aggregate_is_none(self):
-        server = ParameterServer()
-        assert server.pull("critic") is None
+    def test_publish_read_roundtrip(self):
+        server = ParameterServer({"actor": 5, "critic": 3})
+        try:
+            assert server.version == -1
+            vectors = {"actor": np.arange(5.0), "critic": np.ones(3)}
+            assert server.publish(vectors) == 0
+            version, read, _ = server.read()
+            assert version == 0
+            np.testing.assert_array_equal(read["actor"], np.arange(5.0))
+            np.testing.assert_array_equal(read["critic"], np.ones(3))
+        finally:
+            server.release()
 
-    def test_push_aggregate_pull_roundtrip(self):
-        server = ParameterServer()
-        server.push("critic", {"w": np.ones(3)})
-        version = server.aggregate("critic")
-        assert version == 1
-        pulled_version, params = server.pull("critic")
-        assert pulled_version == 1
-        np.testing.assert_array_equal(params["w"], np.ones(3))
+    def test_versions_increment_and_buffers_alternate(self):
+        server = ParameterServer({"w": 2})
+        try:
+            for expected in range(4):
+                assert server.publish({"w": np.full(2, float(expected))}) == expected
+                version, read, _ = server.read(min_version=expected)
+                assert version == expected
+                np.testing.assert_array_equal(read["w"], np.full(2, float(expected)))
+        finally:
+            server.release()
 
-    def test_aggregation_averages(self):
-        server = ParameterServer()
-        server.push("critic", {"w": np.zeros(2)})
-        server.push("critic", {"w": np.full(2, 4.0)})
-        server.aggregate("critic")
-        _, params = server.pull("critic")
-        np.testing.assert_array_equal(params["w"], [2.0, 2.0])
+    def test_read_returns_copies(self):
+        server = ParameterServer({"w": 2})
+        try:
+            server.publish({"w": np.zeros(2)})
+            _, read, _ = server.read()
+            read["w"][:] = 99.0
+            _, again, _ = server.read()
+            np.testing.assert_array_equal(again["w"], np.zeros(2))
+        finally:
+            server.release()
 
-    def test_mismatched_structure_rejected(self):
-        server = ParameterServer()
-        server.push("critic", {"w": np.zeros(2)})
-        server.push("critic", {"v": np.zeros(2)})
-        with pytest.raises(ValueError):
-            server.aggregate("critic")
+    def test_read_times_out_without_version(self):
+        server = ParameterServer({"w": 1})
+        try:
+            server.publish({"w": np.zeros(1)})
+            with pytest.raises(TimeoutError):
+                server.read(min_version=5, timeout=0.1)
+        finally:
+            server.release()
 
-    def test_aggregate_without_pushes_keeps_version(self):
-        server = ParameterServer()
-        server.push("critic", {"w": np.zeros(1)})
-        server.aggregate("critic")
-        assert server.aggregate("critic") == 1
+    def test_stop_interrupts_waiting_reader(self):
+        server = ParameterServer({"w": 1})
+        try:
+            server.request_stop()
+            with pytest.raises(RuntimeError, match="stopped"):
+                server.read(min_version=0, timeout=5.0)
+        finally:
+            server.release()
 
-    def test_pull_returns_copies(self):
-        server = ParameterServer()
-        server.push("critic", {"w": np.zeros(2)})
-        server.aggregate("critic")
-        _, params = server.pull("critic")
-        params["w"][:] = 99.0
-        _, params2 = server.pull("critic")
-        np.testing.assert_array_equal(params2["w"], [0.0, 0.0])
-
-    def test_versions_increment(self):
-        server = ParameterServer()
-        for expected in (1, 2, 3):
-            server.push("k", {"w": np.zeros(1)})
-            assert server.aggregate("k") == expected
-
-
-class TestSharedCriticSynchroniser:
-    def _agents(self, n=2):
-        return [
-            SACAgent(
-                obs_dim=3,
-                action_dim=2,
-                rng=np.random.default_rng(i),
-                action_low=-1.0,
-                action_high=1.0,
-                batch_size=8,
-                buffer_capacity=50,
+    def test_rng_sidecar_roundtrip(self):
+        server = ParameterServer({"w": 1}, num_rngs=2)
+        try:
+            words = np.stack(
+                [
+                    encode_rng_state(np.random.default_rng(3)),
+                    encode_rng_state(np.random.default_rng(4)),
+                ]
             )
-            for i in range(n)
-        ]
+            server.publish({"w": np.zeros(1)}, words)
+            _, _, read_words = server.read()
+            np.testing.assert_array_equal(read_words, words)
+        finally:
+            server.release()
 
-    def test_sync_period(self):
-        sync = SharedCriticSynchroniser(ParameterServer(), "critic", period=3)
-        agents = self._agents()
-        assert not sync.maybe_sync(agents)
-        assert not sync.maybe_sync(agents)
-        assert sync.maybe_sync(agents)
+    def test_missing_rng_sidecar_rejected(self):
+        server = ParameterServer({"w": 1}, num_rngs=1)
+        try:
+            with pytest.raises(ValueError, match="RNG state"):
+                server.publish({"w": np.zeros(1)})
+        finally:
+            server.release()
 
-    def test_sync_equalises_critics(self):
-        sync = SharedCriticSynchroniser(ParameterServer(), "critic", period=1)
-        agents = self._agents()
-        before = [a.critic.q1.trunk.net[0].weight.data.copy() for a in agents]
-        assert not np.allclose(before[0], before[1])
-        sync.maybe_sync(agents)
-        after = [a.critic.q1.trunk.net[0].weight.data for a in agents]
-        np.testing.assert_array_equal(after[0], after[1])
-        np.testing.assert_allclose(after[0], (before[0] + before[1]) / 2)
+    def test_wrong_slot_keys_rejected(self):
+        server = ParameterServer({"w": 1})
+        try:
+            with pytest.raises(ValueError):
+                server.publish({"v": np.zeros(1)})
+        finally:
+            server.release()
 
-    def test_invalid_period(self):
-        with pytest.raises(ValueError):
-            SharedCriticSynchroniser(ParameterServer(), "critic", period=0)
+    def test_wrong_slot_size_rejected(self):
+        server = ParameterServer({"w": 2})
+        try:
+            with pytest.raises(ValueError):
+                server.publish({"w": np.zeros(3)})
+        finally:
+            server.release()
+
+    def test_pickled_handle_sees_publishes(self):
+        import pickle
+
+        server = ParameterServer({"w": 2})
+        reader = None
+        try:
+            reader = pickle.loads(pickle.dumps(server))
+            server.publish({"w": np.array([5.0, 6.0])})
+            version, read, _ = reader.read()
+            assert version == 0
+            np.testing.assert_array_equal(read["w"], [5.0, 6.0])
+        finally:
+            if reader is not None:
+                reader.release()
+            server.release()
+
+
+class TestShmRingQueue:
+    def test_fifo_roundtrip(self):
+        queue = ShmRingQueue(capacity=1 << 16)
+        try:
+            for i in range(5):
+                queue.put({"index": i, "data": np.arange(i)})
+            for i in range(5):
+                frame = queue.get(timeout=1.0)
+                assert frame["index"] == i
+                np.testing.assert_array_equal(frame["data"], np.arange(i))
+        finally:
+            queue.release()
+
+    def test_wraparound(self):
+        # Capacity fits ~2 frames, so repeated put/get must wrap the ring.
+        queue = ShmRingQueue(capacity=4096)
+        try:
+            payload = np.arange(128)
+            for i in range(20):
+                queue.put((i, payload))
+                index, data = queue.get(timeout=1.0)
+                assert index == i
+                np.testing.assert_array_equal(data, payload)
+            assert queue.qsize_bytes() == 0
+        finally:
+            queue.release()
+
+    def test_oversized_frame_rejected(self):
+        queue = ShmRingQueue(capacity=256)
+        try:
+            with pytest.raises(ValueError, match="exceeds queue capacity"):
+                queue.put(np.zeros(10_000))
+        finally:
+            queue.release()
+
+    def test_put_times_out_when_full(self):
+        queue = ShmRingQueue(capacity=256)
+        try:
+            queue.put(b"x" * 150)
+            with pytest.raises(TimeoutError):
+                queue.put(b"y" * 150, timeout=0.2)
+        finally:
+            queue.release()
+
+    def test_get_times_out_when_empty(self):
+        queue = ShmRingQueue(capacity=256)
+        try:
+            with pytest.raises(TimeoutError):
+                queue.get(timeout=0.2)
+        finally:
+            queue.release()
+
+    def test_close_drains_then_raises(self):
+        queue = ShmRingQueue(capacity=1 << 12)
+        try:
+            queue.put("last-frame")
+            queue.close()
+            with pytest.raises(QueueClosed):
+                queue.put("rejected")
+            assert queue.get(timeout=1.0) == "last-frame"
+            with pytest.raises(QueueClosed):
+                queue.get(timeout=1.0)
+        finally:
+            queue.release()
+
+    def test_abort_callback_raises(self):
+        queue = ShmRingQueue(capacity=256)
+        try:
+            with pytest.raises(RuntimeError, match="peer died"):
+                queue.get(timeout=5.0, abort=lambda: "peer died")
+        finally:
+            queue.release()
+
+    def test_payload_dataclass_roundtrip(self):
+        queue = ShmRingQueue(capacity=1 << 12)
+        try:
+            sent = RolloutPayload(
+                round_index=3,
+                version_used=2,
+                data={"stats": [1, 2]},
+                rng_states=[encode_rng_state(np.random.default_rng(0))],
+            )
+            queue.put(sent)
+            got = queue.get(timeout=1.0)
+            assert got.round_index == 3
+            assert got.version_used == 2
+            assert got.data == {"stats": [1, 2]}
+            np.testing.assert_array_equal(got.rng_states[0], sent.rng_states[0])
+        finally:
+            queue.release()
 
 
 @settings(max_examples=25, deadline=None)
@@ -271,3 +413,16 @@ def test_property_stats_balance(drop, seed):
     bus.receive("b")
     stats = bus.stats()
     assert stats["sent"] == stats["dropped"] + stats["delivered"] + stats["in_flight"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), draws=st.integers(0, 40))
+def test_property_rng_codec_roundtrip(seed, draws):
+    gen = np.random.default_rng(seed)
+    gen.uniform(size=draws)
+    words = encode_rng_state(gen)
+    clone = np.random.default_rng(0)
+    load_rng_state(clone, words)
+    np.testing.assert_array_equal(
+        clone.integers(0, 1 << 30, size=8), gen.integers(0, 1 << 30, size=8)
+    )
