@@ -36,9 +36,11 @@ from pathlib import Path
 # cycle, one batched greedy-evaluation act/step cycle, one fused update
 # round (HERO team + skill + IDQN through core.update_engine), one
 # sharded multi-process env step (N=32 over 2 workers: shared-memory
-# round trip + dispatch overhead), and one async actor-learner round trip
+# round trip + dispatch overhead), one async actor-learner round trip
 # (parameter-snapshot publish/read + transition-payload put/get through
-# the shared-memory plumbing).  Names match pytest node names.
+# the shared-memory plumbing), and one full-slot micro-batched inference
+# pass of the serving stack (32 client slots through one stacked
+# forward).  Names match pytest node names.
 GATED_BENCHMARKS = (
     "test_env_step_throughput",
     "test_mlp_forward_backward",
@@ -48,6 +50,7 @@ GATED_BENCHMARKS = (
     "test_update_engine_cycle",
     "test_sharded_env_step",
     "test_actor_learner_roundtrip",
+    "test_inference_batch_cycle",
 )
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
 DEFAULT_THRESHOLD = 0.30

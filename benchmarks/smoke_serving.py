@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""CI smoke: train → checkpoint → serve → assert served-action parity.
+
+Exercises the PR 7 serving stack end to end the way a deployment would:
+
+* HERO: train a tiny team (``train_hero`` with ``checkpoint_path``),
+  ``load_policy`` the checkpoint, and serve it through an in-process
+  :class:`repro.PolicyServer` — the served greedy actions must be
+  **bit-for-bit identical** to a reference
+  :class:`~repro.core.batched.BatchedHeroRunner` driven on the same
+  observations;
+* IDQN: build the baseline, ``save_checkpoint``/``load_policy`` it, and
+  check the served actions against ``act_batch(..., explore=False)``;
+* plumbing: a socket :class:`repro.PolicyClient` round trip against the
+  same server, and the ``repro checkpoint info`` CLI on the saved file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_serving.py --episodes 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import threading
+
+import numpy as np
+
+from repro import (
+    PolicyClient,
+    PolicyServer,
+    TrainingConfig,
+    load_policy,
+    save_checkpoint,
+    train_hero,
+)
+from repro.baselines import make_baseline
+from repro.cli import main as cli_main
+from repro.config import ScenarioConfig
+from repro.core import HeroTeam
+from repro.core.batched import BatchedHeroRunner
+from repro.envs import (
+    CooperativeLaneChangeEnv,
+    VectorEnv,
+    make_baseline_env,
+    make_baseline_vector_env,
+)
+from repro.serving import ObservationRequest, split_hero_batch
+
+SCENARIO = ScenarioConfig(episode_length=10)
+NUM_SLOTS = 4
+
+
+def _train_hero_checkpoint(path: str, episodes: int, seed: int) -> None:
+    config = TrainingConfig(seed=seed)
+    config.scenario = SCENARIO
+    env = CooperativeLaneChangeEnv(scenario=SCENARIO)
+    team = HeroTeam(env, np.random.default_rng(seed), batch_size=8)
+    train_hero(
+        env,
+        team,
+        episodes=episodes,
+        config=config,
+        eval_every=0,
+        checkpoint_path=path,
+    )
+
+
+def check_hero_serving(path: str, steps: int) -> None:
+    """Served HERO actions must match the batched greedy runner bitwise."""
+    policy = load_policy(path)
+    vec_env = VectorEnv(NUM_SLOTS, scenario=policy.scenario, rewards=policy.rewards)
+    ref_env = VectorEnv(NUM_SLOTS, scenario=policy.scenario, rewards=policy.rewards)
+    ref_runner = BatchedHeroRunner(load_policy(path).controller, ref_env)
+
+    obs = vec_env.reset(list(range(NUM_SLOTS)))
+    ref_env.reset(list(range(NUM_SLOTS)))
+    # A long flush wait keeps every round a full-slot batch — the bitwise
+    # side of the parity contract (partial flushes are greedy-correct but
+    # may differ in float ties; see docs/SERVING.md).
+    with PolicyServer(policy, num_slots=NUM_SLOTS, max_wait_us=10e6) as server:
+        host, port = server.serve()
+        for step in range(steps):
+            ref = ref_runner.act(obs, epsilon=0.0, explore=False)
+            requests = split_hero_batch(obs, vec_env.agent_d, vec_env.agent_heading)
+            futures = [server.submit_async(r) for r in requests]
+            served = np.stack([f.result(timeout=30.0) for f in futures])
+            if not np.array_equal(ref, served):
+                raise SystemExit(
+                    f"hero: served actions drifted from the greedy runner at "
+                    f"step {step}:\n{served}\n!=\n{ref}"
+                )
+            obs, _, dones, _ = vec_env.step(ref)
+            ref_env.step(ref)
+            for i in np.flatnonzero(dones):
+                ref_runner.start_episode(int(i))
+                server.reset_slot(int(i))
+
+        # Socket round trip: one client thread per slot; the concurrent
+        # requests coalesce into one full-slot flush whose actions must
+        # match the reference runner on the same observations.
+        ref = ref_runner.act(obs, epsilon=0.0, explore=False)
+        requests = split_hero_batch(obs, vec_env.agent_d, vec_env.agent_heading)
+        clients = [PolicyClient(host, port) for _ in range(NUM_SLOTS)]
+        try:
+            info = clients[0].info()
+            if info.method != "hero" or info.num_slots != NUM_SLOTS:
+                raise SystemExit(f"hero: socket info() drifted: {info}")
+            served = [None] * NUM_SLOTS
+
+            def call(i, request, out=served, cs=clients):
+                out[i] = cs[i].act(request)
+
+            threads = [
+                threading.Thread(target=call, args=(r.slot, r)) for r in requests
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if not np.array_equal(ref, np.stack(served)):
+                raise SystemExit("hero: socket round trip drifted")
+        finally:
+            for client in clients:
+                client.close()
+    print(f"hero: {steps} served steps, {NUM_SLOTS} slots: "
+          "bitwise parity (in-process + socket)")
+
+
+def check_idqn_serving(path: str, steps: int) -> None:
+    """Served IDQN actions must match act_batch(..., explore=False)."""
+    env = make_baseline_env(scenario=SCENARIO)
+    algo = make_baseline("idqn", env, seed=0, batch_size=8, buffer_capacity=200)
+    save_checkpoint(path, algo, scenario=SCENARIO)
+
+    policy = load_policy(path)
+    vec = make_baseline_vector_env(NUM_SLOTS, scenario=SCENARIO)
+    try:
+        obs = vec.reset(list(range(NUM_SLOTS)))
+        with PolicyServer(policy, num_slots=NUM_SLOTS) as server:
+            for step in range(steps):
+                ref = algo.act_batch(obs, explore=False)
+                futures = [
+                    server.submit_async(ObservationRequest(slot=i, obs=obs[i]))
+                    for i in range(NUM_SLOTS)
+                ]
+                served = np.stack([f.result(timeout=30.0) for f in futures])
+                if not np.array_equal(ref, served):
+                    raise SystemExit(
+                        f"idqn: served actions drifted from act_batch at "
+                        f"step {step}"
+                    )
+                obs, _, dones, _ = vec.step(ref)
+    finally:
+        vec.close()
+    print(f"idqn: {steps} served steps, {NUM_SLOTS} slots: bitwise parity")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serving-smoke-") as tmp:
+        hero_path = os.path.join(tmp, "hero.npz")
+        _train_hero_checkpoint(hero_path, args.episodes, args.seed)
+        check_hero_serving(hero_path, args.steps)
+        check_idqn_serving(os.path.join(tmp, "idqn.npz"), args.steps)
+        if cli_main(["checkpoint", "info", hero_path]) != 0:
+            raise SystemExit("repro checkpoint info exited non-zero")
+    print("serving smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,15 +7,24 @@ evaluation metrics (Sec. V-B). Scale everything up with ``--episodes`` /
 Usage::
 
     python examples/quickstart.py [--episodes 300] [--skill-episodes 250]
+
+Pass ``--checkpoint team.npz`` to persist the trained team as a serving
+checkpoint (``python -m repro serve team.npz`` picks it up).
 """
 
 import argparse
 
 import numpy as np
 
-from repro.config import TrainingConfig
-from repro.core import HeroTeam, train_hero, train_low_level_skills
-from repro.core.trainer import evaluate_hero
+# The package root is the stable public surface (PR 7); deep module paths
+# keep working but new code should import from `repro`.
+from repro import (
+    HeroTeam,
+    TrainingConfig,
+    evaluate_hero,
+    train_hero,
+    train_low_level_skills,
+)
 from repro.envs import CooperativeLaneChangeEnv
 from repro.experiments.common import bench_scenario
 
@@ -25,6 +34,11 @@ def main() -> None:
     parser.add_argument("--episodes", type=int, default=300)
     parser.add_argument("--skill-episodes", type=int, default=250)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="optional path to write the trained team as a serving checkpoint",
+    )
     args = parser.parse_args()
 
     config = TrainingConfig(seed=args.seed)
@@ -48,10 +62,13 @@ def main() -> None:
         skills=skills, batch_size=128, lr=2e-3,
     )
     logger = train_hero(
-        env, team, episodes=args.episodes, config=config, updates_per_episode=4
+        env, team, episodes=args.episodes, config=config, updates_per_episode=4,
+        checkpoint_path=args.checkpoint,
     )
     print(f"final eval reward:    {logger.latest('hero/eval_episode_reward'):.2f}")
     print(f"final eval collision: {logger.latest('hero/eval_collision_rate'):.2f}")
+    if args.checkpoint:
+        print(f"serving checkpoint written to {args.checkpoint}")
 
     print("\n== Greedy evaluation (20 episodes) ==")
     metrics = evaluate_hero(env, team, episodes=20, seed=args.seed + 1)

@@ -127,6 +127,80 @@ class MARLAlgorithm:
     def _stack(self, observations: dict[str, np.ndarray]) -> np.ndarray:
         return np.stack([observations[a] for a in self.agent_ids])
 
+    # ------------------------------------------------------------------
+    # Persistence (the shared checkpoint contract)
+    # ------------------------------------------------------------------
+    # Every method in the repository — HeroTeam and all four baselines —
+    # exposes the same state_dict()/load_state_dict()/save(path)/load(path)
+    # quartet (see docs/SERVING.md).  The default below discovers every
+    # network automatically: any Module attribute, plus Modules held in
+    # dict/list/tuple attributes (IDQN's per-agent dicts, MADDPG/COMA's
+    # per-agent lists), target networks included, so a round trip restores
+    # the learner exactly.  Optimiser moments and replay buffers are
+    # deliberately excluded: checkpoints describe the *policy*, and the
+    # serving stack (repro.serving) only ever loads parameters.
+    def named_modules(self) -> dict[str, "object"]:
+        """Discover this algorithm's networks as ``{dotted_name: Module}``.
+
+        Traverses ``vars(self)`` in attribute-definition order (which is
+        deterministic per construction), descending one level into dicts,
+        lists and tuples — the container shapes the in-tree baselines use.
+        """
+        from ..nn.module import Module
+
+        modules: dict[str, Module] = {}
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                modules[name] = value
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        modules[f"{name}.{key}"] = item
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        modules[f"{name}.{i}"] = item
+        return modules
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """All network parameters as ``{dotted_name: array}`` (copies)."""
+        state: dict[str, np.ndarray] = {}
+        for prefix, module in self.named_modules().items():
+            for key, value in module.state_dict().items():
+                state[f"{prefix}.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters written by :meth:`state_dict` (strict)."""
+        modules = self.named_modules()
+        own_keys = set()
+        for prefix, module in modules.items():
+            for key, _ in module.named_parameters():
+                own_keys.add(f"{prefix}.{key}")
+        missing = own_keys - set(state)
+        unexpected = set(state) - own_keys
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for prefix, module in modules.items():
+            sub = {
+                key[len(prefix) + 1:]: value
+                for key, value in state.items()
+                if key.startswith(f"{prefix}.")
+            }
+            module.load_state_dict(sub)
+
+    def save(self, path) -> None:
+        """Write all network parameters as one ``.npz`` archive."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path) -> None:
+        """Restore an archive written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({name: archive[name] for name in archive.files})
+
 
 def train_marl(
     env,

@@ -6,9 +6,14 @@ Commands::
     python -m repro run fig7 --scale 0.02        # run one experiment
     python -m repro run-all --scale 0.01         # run every experiment
     python -m repro watch --seed 3               # render a scripted episode
+    python -m repro checkpoint create --method hero --out team.npz
+    python -m repro checkpoint info team.npz     # inspect a checkpoint
+    python -m repro serve team.npz --port 7355   # socket inference service
 
 The ``run`` command is the same harness the benchmarks call; it prints the
-paper-style tables/curves and the [OK]/[MISS] shape checks.
+paper-style tables/curves and the [OK]/[MISS] shape checks.  ``serve``
+loads a versioned checkpoint (docs/SERVING.md) and answers observation
+requests with micro-batched greedy actions.
 """
 
 from __future__ import annotations
@@ -63,6 +68,7 @@ def _cmd_run(args) -> int:
         fused_updates=args.fused_updates,
         async_actors=args.async_actors,
         max_staleness=args.max_staleness,
+        checkpoint_dir=args.checkpoint_dir,
     )
     return 0
 
@@ -111,6 +117,93 @@ def _cmd_watch(args) -> int:
         return actions
 
     print_episode(env, scripted_policy, seed=args.seed, every=args.every)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve a checkpoint over the socket front-end until interrupted."""
+    import time
+
+    from .serving import PolicyServer, load_policy
+
+    policy = load_policy(args.checkpoint)
+    server = PolicyServer(
+        policy,
+        num_slots=args.num_slots,
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+    )
+    with server:
+        host, port = server.serve(args.host, args.port)
+        print(
+            f"serving {policy.method} policy from {args.checkpoint} "
+            f"on {host}:{port} ({args.num_slots} slots, "
+            f"max batch {server.max_batch_size})"
+        )
+        print("press Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("\nstopping")
+    return 0
+
+
+def _cmd_checkpoint_info(args) -> int:
+    from .serving import load_checkpoint
+
+    ckpt = load_checkpoint(args.path)
+    meta = ckpt.meta
+    print(f"method:      {ckpt.method}")
+    print(f"parameters:  {ckpt.flat_params.size} floats in {len(meta['keys'])} arrays")
+    scenario = meta["scenario"]
+    print(
+        f"scenario:    {scenario['num_learning_vehicles']} learning + "
+        f"{scenario['num_scripted_vehicles']} scripted vehicles, "
+        f"{scenario['num_lanes']} lanes, "
+        f"episode_length={scenario['episode_length']}"
+    )
+    if meta["build"]:
+        print(f"build:       {meta['build']}")
+    if meta.get("extra"):
+        print(f"extra:       {meta['extra']}")
+    return 0
+
+
+def _cmd_checkpoint_create(args) -> int:
+    """Train a (small-scale) method and persist it as a serving checkpoint."""
+    from .config import RewardConfig
+    from .experiments.common import (
+        bench_scenario,
+        episodes_from_scale,
+        train_baseline_method,
+        train_hero_method,
+    )
+
+    _show_fallback_warnings()
+    scenario = bench_scenario()
+    rewards = RewardConfig()
+    episodes = episodes_from_scale(args.scale)
+    if args.method == "hero":
+        trained = train_hero_method(
+            scenario,
+            rewards,
+            episodes,
+            skill_episodes=max(episodes, 250),
+            seed=args.seed,
+            num_envs=args.num_envs,
+        )
+    else:
+        trained = train_baseline_method(
+            args.method,
+            scenario,
+            rewards,
+            episodes,
+            seed=args.seed,
+            num_envs=args.num_envs,
+        )
+    trained.to_checkpoint(args.out)
+    print(f"wrote {args.method} checkpoint ({episodes} episodes) to {args.out}")
     return 0
 
 
@@ -176,6 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
             "policy snapshot and logs <prefix>/snapshot_staleness"
         ),
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "persist each trained method as a serving checkpoint "
+            "(<dir>/<method>.npz) and reload instead of retraining when "
+            "the directory is complete (table2 only)"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment harness")
@@ -237,6 +339,57 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--seed", type=int, default=0)
     watch.add_argument("--every", type=int, default=5)
     watch.set_defaults(func=_cmd_watch)
+
+    serve = sub.add_parser(
+        "serve", help="serve a policy checkpoint over a socket"
+    )
+    serve.add_argument("checkpoint", help="path to a .npz serving checkpoint")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    serve.add_argument(
+        "--num-slots",
+        type=_positive_int,
+        default=4,
+        help=(
+            "concurrent client state rows; HERO keeps per-slot option "
+            "state, and served actions are bitwise-equal to the vectorized "
+            "evaluator when every slot submits each step"
+        ),
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=_positive_int,
+        default=None,
+        help="requests fused per forward pass (default: --num-slots)",
+    )
+    serve.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=200.0,
+        help="micro-batcher flush deadline for a partial batch, microseconds",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="create or inspect policy checkpoints"
+    )
+    ckpt_sub = checkpoint.add_subparsers(dest="action", required=True)
+    info = ckpt_sub.add_parser("info", help="print checkpoint metadata")
+    info.add_argument("path")
+    info.set_defaults(func=_cmd_checkpoint_info)
+    create = ckpt_sub.add_parser(
+        "create", help="train a method at small scale and checkpoint it"
+    )
+    create.add_argument(
+        "--method",
+        default="hero",
+        choices=["hero", "idqn", "coma", "maddpg", "maac"],
+    )
+    create.add_argument("--scale", type=float, default=0.002)
+    create.add_argument("--seed", type=int, default=0)
+    create.add_argument("--num-envs", type=_positive_int, default=1)
+    create.add_argument("--out", required=True, help="output .npz path")
+    create.set_defaults(func=_cmd_checkpoint_create)
     return parser
 
 

@@ -165,6 +165,7 @@ def train_hero(
     fused_updates: bool | None = None,
     async_actors: bool | None = None,
     max_staleness: int | None = None,
+    checkpoint_path: str | None = None,
 ) -> MetricLogger:
     """Algorithm 1: train the high-level cooperative strategy.
 
@@ -207,6 +208,12 @@ def train_hero(
     snapshot — 0 is a lockstep barrier, bitwise identical to the
     synchronous path; larger values overlap rollout and update and log
     per-round snapshot staleness.
+
+    ``checkpoint_path`` (optional) writes the trained team as a versioned
+    serving checkpoint (:func:`repro.serving.save_checkpoint`) once
+    training finishes — on every loop variant (scalar, vectorized,
+    async) — so ``repro serve`` / :func:`repro.load_policy` can pick it
+    up without the training harness.
     """
     config = config or TrainingConfig()
     if num_envs is None:
@@ -245,7 +252,7 @@ def train_hero(
         if async_actors:
             from ..distributed.actor_learner import train_hero_async
 
-            return train_hero_async(
+            logger = train_hero_async(
                 env,
                 team,
                 episodes,
@@ -263,7 +270,8 @@ def train_hero(
                 engine=engine,
                 max_staleness=max_staleness,
             )
-        return _train_hero_vectorized(
+            return _finish_hero_training(team, env, config, checkpoint_path, logger)
+        logger = _train_hero_vectorized(
             env,
             team,
             episodes,
@@ -279,6 +287,7 @@ def train_hero(
             config=config,
             update_fn=update_fn,
         )
+        return _finish_hero_training(team, env, config, checkpoint_path, logger)
 
     losses: dict[str, float] = {}
     for episode in range(episodes):
@@ -309,6 +318,28 @@ def train_hero(
             _log_hero_eval(
                 logger, metric_prefix, env, team, eval_episodes, config, episode
             )
+    return _finish_hero_training(team, env, config, checkpoint_path, logger)
+
+
+def _finish_hero_training(
+    team: HeroTeam,
+    env: CooperativeLaneChangeEnv,
+    config: TrainingConfig,
+    checkpoint_path: str | None,
+    logger: MetricLogger,
+) -> MetricLogger:
+    """Optionally persist the trained team as a serving checkpoint."""
+    if checkpoint_path is not None:
+        from ..serving.checkpoint import save_checkpoint
+
+        save_checkpoint(
+            checkpoint_path,
+            team,
+            scenario=env.scenario,
+            rewards=env.rewards,
+            hyper=config.hyper,
+            extra={"seed": config.seed},
+        )
     return logger
 
 

@@ -12,6 +12,7 @@ learner's post-update RNG state for the lockstep determinism contract).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -125,13 +126,39 @@ def load_rng_state(gen: np.random.Generator, state: dict | np.ndarray) -> None:
     gen.bit_generator.state = state
 
 
+# ---------------------------------------------------------------------------
+# JSON metadata codec
+# ---------------------------------------------------------------------------
+
+# Structured metadata that rides next to flat numeric payloads (checkpoint
+# archives, parameter-server sidecars) is serialised as canonical UTF-8
+# JSON packed into a uint8 array, so it can live inside the same ``.npz``
+# or shared-memory container as the numbers it describes.  Canonical =
+# sorted keys, no whitespace: byte-identical metadata for identical
+# content, which keeps checkpoint round-trips reproducible.
+
+
+def encode_json_meta(obj) -> np.ndarray:
+    """Pack a JSON-serialisable object into a uint8 array."""
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return np.frombuffer(text.encode("utf-8"), dtype=np.uint8).copy()
+
+
+def decode_json_meta(arr: np.ndarray):
+    """Unpack a uint8 array written by :func:`encode_json_meta`."""
+    data = np.asarray(arr, dtype=np.uint8).tobytes()
+    return json.loads(data.decode("utf-8"))
+
+
 __all__ = [
     "ActorError",
     "Message",
     "OptionAnnouncement",
     "RNG_WORDS",
     "RolloutPayload",
+    "decode_json_meta",
     "decode_rng_state",
+    "encode_json_meta",
     "encode_rng_state",
     "load_rng_state",
 ]

@@ -62,12 +62,71 @@ class TrainedMethod:
     :class:`~repro.envs.wrappers.VectorBaselineEnv` for the baselines —
     in which case episodes are batched through the vectorized evaluators
     (bit-for-bit equal to scalar at one env, ~episode-parallel otherwise).
+
+    :meth:`to_checkpoint` / :meth:`from_checkpoint` round the trained
+    controller through the versioned serving format
+    (:mod:`repro.serving.checkpoint`), so a training sweep's result
+    survives process exit — the testbed phase can re-evaluate persisted
+    teams instead of retraining.  Training curves are not part of a
+    policy checkpoint; a reloaded method starts with an empty logger.
     """
 
     name: str
     logger: MetricLogger
     evaluate: callable  # (env, episodes, seed) -> metrics dict
     controller: object = None
+    scenario: ScenarioConfig | None = None
+    rewards: RewardConfig | None = None
+
+    def to_checkpoint(self, path) -> None:
+        """Persist the trained controller as a serving checkpoint."""
+        if self.controller is None:
+            raise ValueError(
+                f"method {self.name!r} has no controller to checkpoint"
+            )
+        from ..serving.checkpoint import save_checkpoint
+
+        save_checkpoint(
+            path,
+            self.controller,
+            scenario=self.scenario,
+            rewards=self.rewards,
+            extra={"method": self.name},
+        )
+
+    @classmethod
+    def from_checkpoint(cls, path) -> "TrainedMethod":
+        """Rebuild a ready-to-evaluate method from a serving checkpoint."""
+        from ..serving.checkpoint import load_policy
+
+        loaded = load_policy(path)
+        controller = loaded.controller
+        if loaded.method == "hero":
+
+            def evaluate(eval_env, episodes, eval_seed=0):
+                if isinstance(eval_env, VectorStepper):
+                    return evaluate_hero_vectorized(
+                        eval_env, controller, episodes, seed=eval_seed
+                    )
+                return evaluate_hero(eval_env, controller, episodes, seed=eval_seed)
+
+        else:
+
+            def evaluate(eval_env, episodes, eval_seed=0):
+                if isinstance(eval_env, VectorBaselineEnv):
+                    return evaluate_marl_vectorized(
+                        eval_env, controller, episodes, seed=eval_seed
+                    )
+                return evaluate_marl(eval_env, controller, episodes, seed=eval_seed)
+
+        return cls(
+            loaded.method,
+            MetricLogger(),
+            evaluate,
+            controller=controller,
+            scenario=loaded.scenario,
+            rewards=loaded.rewards,
+        )
 
 
 @dataclass
@@ -163,7 +222,14 @@ def train_hero_method(
             return evaluate_hero_vectorized(eval_env, team, episodes, seed=eval_seed)
         return evaluate_hero(eval_env, team, episodes, seed=eval_seed)
 
-    return TrainedMethod(metric_prefix, logger, evaluate, controller=team)
+    return TrainedMethod(
+        metric_prefix,
+        logger,
+        evaluate,
+        controller=team,
+        scenario=scenario,
+        rewards=rewards,
+    )
 
 
 def train_baseline_method(
@@ -240,7 +306,14 @@ def train_baseline_method(
             return evaluate_marl_vectorized(eval_env, algo, episodes, seed=eval_seed)
         return evaluate_marl(eval_env, algo, episodes, seed=eval_seed)
 
-    return TrainedMethod(name, logger, evaluate, controller=algo)
+    return TrainedMethod(
+        name,
+        logger,
+        evaluate,
+        controller=algo,
+        scenario=scenario,
+        rewards=rewards,
+    )
 
 
 def train_all_methods(

@@ -72,6 +72,7 @@ def run_experiment(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> dict:
     """Run one experiment end to end and print its report.
 
@@ -87,11 +88,21 @@ def run_experiment(
     on the async actor–learner stack (``repro.distributed.actor_learner``;
     HERO and IDQN), with ``max_staleness`` bounding how far the actor may
     run ahead of the newest policy snapshot (0 = lockstep, bitwise equal
-    to the synchronous path).
+    to the synchronous path).  ``checkpoint_dir`` persists each trained
+    method as a serving checkpoint and reloads instead of retraining when
+    the directory is already complete (table2 only — the figure harnesses
+    report training curves, which a checkpoint does not carry).
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
     experiment = EXPERIMENTS[exp_id]
+    extra_kwargs = {}
+    if checkpoint_dir is not None:
+        if exp_id != "table2":
+            raise ValueError(
+                f"checkpoint_dir is only supported by table2, not {exp_id!r}"
+            )
+        extra_kwargs["checkpoint_dir"] = checkpoint_dir
     outputs = experiment.run(
         scale=scale,
         seed=seed,
@@ -100,6 +111,7 @@ def run_experiment(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        **extra_kwargs,
     )
     experiment.report(outputs)
     return outputs

@@ -18,6 +18,8 @@ Shape targets under our domain-shift testbed (DESIGN.md §2):
 
 from __future__ import annotations
 
+import os
+
 from ..config import TestbedConfig
 from ..envs import (
     CooperativeLaneChangeEnv,
@@ -25,7 +27,7 @@ from ..envs import (
     FlattenObservationWrapper,
     RealWorldTestbed,
 )
-from .common import ExperimentResult, train_all_methods
+from .common import METHOD_NAMES, ExperimentResult, TrainedMethod, train_all_methods
 from .reporting import print_metric_table, shape_check
 
 PAPER_ROWS = {
@@ -71,6 +73,33 @@ class _FlattenShifted:
         )
 
 
+def _checkpoint_paths(checkpoint_dir: str, methods: list[str]) -> dict[str, str]:
+    return {name: os.path.join(checkpoint_dir, f"{name}.npz") for name in methods}
+
+
+def _load_methods(checkpoint_dir: str, methods: list[str]) -> ExperimentResult | None:
+    """Rebuild a full sweep result from persisted checkpoints, if complete."""
+    paths = _checkpoint_paths(checkpoint_dir, methods)
+    if not all(os.path.exists(p) for p in paths.values()):
+        return None
+    loaded = {name: TrainedMethod.from_checkpoint(p) for name, p in paths.items()}
+    any_method = next(iter(loaded.values()))
+    return ExperimentResult(
+        methods=loaded,
+        scenario=any_method.scenario,
+        rewards=any_method.rewards,
+    )
+
+
+def _persist_methods(result: ExperimentResult, checkpoint_dir: str) -> dict[str, str]:
+    """Write one serving checkpoint per trained method; returns the paths."""
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    paths = _checkpoint_paths(checkpoint_dir, list(result.methods))
+    for name, trained in result.methods.items():
+        trained.to_checkpoint(paths[name])
+    return paths
+
+
 def run_table2(
     scale: float = 0.02,
     seed: int = 0,
@@ -81,6 +110,7 @@ def run_table2(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> dict:
     """Train all methods (vectorized when ``num_envs > 1``, sharded across
     worker processes when ``num_workers > 1``, including the interleaved
@@ -92,7 +122,16 @@ def run_table2(
     ``VectorEnv`` kernels cannot express, so these 20 episodes step one
     env at a time (they are a trivial fraction of the sweep's runtime —
     the training loop dominates).
+
+    ``checkpoint_dir`` (optional) persists each trained method as a
+    versioned serving checkpoint (``<dir>/<method>.npz``).  If the
+    directory already holds a checkpoint for every method, the testbed
+    phase reloads them instead of retraining — training curves are not
+    part of a checkpoint, so a reloaded sweep reports testbed rows only.
     """
+    if result is None and checkpoint_dir is not None:
+        result = _load_methods(checkpoint_dir, METHOD_NAMES)
+    freshly_trained = result is None
     result = result or train_all_methods(
         scale=scale,
         seed=seed,
@@ -102,6 +141,8 @@ def run_table2(
         async_actors=async_actors,
         max_staleness=max_staleness,
     )
+    if freshly_trained and checkpoint_dir is not None:
+        _persist_methods(result, checkpoint_dir)
     rows = {}
     for name, trained in result.methods.items():
         env = _testbed_env_for(name, result, trained, seed + 7)

@@ -1,0 +1,50 @@
+"""Policy serving: versioned checkpoints + micro-batched greedy inference.
+
+The serving layer turns a trained controller into a decision service
+(docs/SERVING.md): :mod:`~repro.serving.checkpoint` defines the
+versioned, RNG-free archive format shared by the trainer, the
+actor-learner snapshots and the server; :mod:`~repro.serving.batcher`
+fuses concurrent requests into stacked forwards; and
+:mod:`~repro.serving.server` answers them with greedy actions
+bitwise-equal to the vectorized evaluators' (see the parity contract in
+:mod:`~repro.serving.server`).
+"""
+
+from .batcher import BatcherClosed, MicroBatcher
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    LoadedPolicy,
+    load_checkpoint,
+    load_policy,
+    save_checkpoint,
+)
+from .server import (
+    HeroPolicySession,
+    MarlPolicySession,
+    ObservationRequest,
+    PolicyClient,
+    PolicyServer,
+    ServerInfo,
+    split_hero_batch,
+)
+
+__all__ = [
+    "BatcherClosed",
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "HeroPolicySession",
+    "LoadedPolicy",
+    "MarlPolicySession",
+    "MicroBatcher",
+    "ObservationRequest",
+    "PolicyClient",
+    "PolicyServer",
+    "ServerInfo",
+    "load_checkpoint",
+    "load_policy",
+    "save_checkpoint",
+    "split_hero_batch",
+]

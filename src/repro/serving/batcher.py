@@ -1,0 +1,146 @@
+"""Micro-batcher: many concurrent requests, one stacked forward.
+
+:class:`MicroBatcher` sits between request threads and a batch handler.
+Callers :meth:`submit` a payload and get back a
+:class:`concurrent.futures.Future`; a single worker thread drains the
+bounded queue and flushes a batch to the handler when either
+
+* ``max_batch_size`` payloads are waiting, or
+* the oldest waiting payload has aged past ``max_wait_us``.
+
+The handler receives the payload list and must return one result per
+payload, in order — the batcher routes result ``i`` to the future of
+payload ``i``.  A handler exception fails that batch's futures and the
+worker keeps serving subsequent batches.  ``close()`` flushes everything
+still queued before stopping, so no accepted request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` after :meth:`~MicroBatcher.close`."""
+
+
+class MicroBatcher:
+    """Bounded-queue micro-batcher with a max-size / max-wait flush policy."""
+
+    def __init__(
+        self,
+        handler,
+        max_batch_size: int,
+        max_wait_us: float = 200.0,
+        max_queue: int = 4096,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self._handler = handler
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_us) * 1e-6
+        self.max_queue = int(max_queue)
+        self._queue: deque = deque()  # (payload, future, enqueue_time)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._closed = False
+        self._stopped = False
+        # Flush sizes, oldest first — tests assert the flush policy on these.
+        self.batch_sizes: list[int] = []
+        self._worker = threading.Thread(
+            target=self._run, name="micro-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, payload) -> Future:
+        """Enqueue one payload; the future resolves to the handler's result."""
+        with self._lock:
+            while not self._closed and len(self._queue) >= self.max_queue:
+                self._space.wait()
+            if self._closed:
+                raise BatcherClosed("batcher is closed")
+            future: Future = Future()
+            self._queue.append((payload, future, time.monotonic()))
+            self._ready.notify()
+            return future
+
+    def close(self) -> None:
+        """Stop accepting work, flush everything queued, join the worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._ready.notify_all()
+            self._space.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list | None:
+        """Block until a batch is due; ``None`` means closed and drained."""
+        with self._lock:
+            while True:
+                if self._queue:
+                    if self._closed or len(self._queue) >= self.max_batch_size:
+                        break
+                    # Flush when the oldest request has waited long enough;
+                    # otherwise sleep out its remaining budget (new arrivals
+                    # can only make the batch fuller, never the deadline
+                    # earlier, so waiting on the condition is safe).
+                    deadline = self._queue[0][2] + self.max_wait_s
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._ready.wait(timeout=remaining)
+                elif self._closed:
+                    return None
+                else:
+                    self._ready.wait()
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch_size, len(self._queue)))
+            ]
+            self._space.notify_all()
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self.batch_sizes.append(len(batch))
+            payloads = [payload for payload, _, _ in batch]
+            try:
+                results = self._handler(payloads)
+                if len(results) != len(payloads):
+                    raise RuntimeError(
+                        f"batch handler returned {len(results)} results "
+                        f"for {len(payloads)} payloads"
+                    )
+            except BaseException as exc:  # route the failure, keep serving
+                for _, future, _ in batch:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+                continue
+            for (_, future, _), result in zip(batch, results):
+                if not future.cancelled():
+                    future.set_result(result)
+
+
+__all__ = ["BatcherClosed", "MicroBatcher"]

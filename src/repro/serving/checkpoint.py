@@ -1,0 +1,282 @@
+"""Versioned checkpoint format shared by trainer, snapshots and server.
+
+A checkpoint is one ``.npz`` archive with exactly three entries:
+
+====================  ======================================================
+``format_version``    int64 scalar, currently ``1``
+``meta``              canonical JSON packed into uint8 words via
+                      :func:`repro.distributed.protocol.encode_json_meta`
+``flat_params``       one float64 vector — every network parameter of the
+                      saved controller, concatenated in ``state_dict()``
+                      iteration order
+====================  ======================================================
+
+The metadata carries everything needed to rebuild the controller without
+unpickling code: the method name (``"hero"`` or a baseline registry key),
+the scenario / reward / hyperparameter dataclasses as plain dicts, the
+method-specific ``build`` kwargs, and a ``keys`` table mapping each
+``state_dict`` entry to its shape and offset inside ``flat_params``.  The
+format is RNG-free by design — a checkpoint describes a *policy*, and the
+serving path only ever runs greedy inference (see docs/SERVING.md).
+
+Because every parameter in the repository is float64 and the metadata
+codec is canonical (sorted keys, no whitespace), a save → load → save
+round trip is byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PaperHyperparameters, RewardConfig, ScenarioConfig
+from ..distributed.protocol import decode_json_meta, encode_json_meta
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_ARCHIVE_KEYS = ("format_version", "meta", "flat_params")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint archive is unreadable, corrupted or incompatible."""
+
+
+# ---------------------------------------------------------------------------
+# Flat-vector codec
+# ---------------------------------------------------------------------------
+
+
+def _flatten_state(state: dict) -> tuple[np.ndarray, list]:
+    """Concatenate a ``state_dict`` into one float64 vector + key table."""
+    chunks = []
+    keys = []
+    offset = 0
+    for name, value in state.items():
+        arr = np.asarray(value, dtype=np.float64)
+        keys.append([name, list(arr.shape), offset])
+        chunks.append(arr.reshape(-1))
+        offset += arr.size
+    flat = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.float64)
+    return flat, keys
+
+
+def _scatter_state(flat: np.ndarray, keys: list) -> dict:
+    """Rebuild a ``state_dict`` from the flat vector and its key table."""
+    state = {}
+    for entry in keys:
+        try:
+            name, shape, offset = entry
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            chunk = flat[offset:offset + size]
+            if chunk.size != size:
+                raise ValueError(f"key {name!r} overruns the parameter vector")
+            state[name] = chunk.reshape(shape).copy()
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(f"corrupted checkpoint key table: {exc}") from exc
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Save / load
+# ---------------------------------------------------------------------------
+
+
+def _method_name(controller) -> str:
+    from ..core.hero import HeroTeam
+
+    if isinstance(controller, HeroTeam):
+        return "hero"
+    name = getattr(controller, "name", None)
+    if isinstance(name, str) and name != "base":
+        return name
+    raise CheckpointError(
+        f"cannot infer a checkpoint method name for {type(controller).__name__}"
+    )
+
+
+def _default_build(controller) -> dict:
+    """Capture the controller kwargs needed for an exact rebuild."""
+    from ..core.hero import HeroTeam
+
+    if isinstance(controller, HeroTeam):
+        first = next(iter(controller.agents.values())).high_level
+        return {
+            "opponent_mode": first.opponent_mode,
+            "batch_size": int(first.batch_size),
+        }
+    return {}
+
+
+def save_checkpoint(
+    path,
+    controller,
+    *,
+    scenario: ScenarioConfig | None = None,
+    rewards: RewardConfig | None = None,
+    hyper: PaperHyperparameters | None = None,
+    build: dict | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Write ``controller`` (a :class:`~repro.core.hero.HeroTeam` or any
+    :class:`~repro.baselines.base.MARLAlgorithm`) as a versioned archive.
+
+    ``scenario``/``rewards``/``hyper`` default to the paper configuration;
+    pass the ones the controller was trained with so :func:`load_policy`
+    rebuilds an identical environment.  ``build`` holds method-specific
+    constructor kwargs (captured automatically for HERO); ``extra`` is an
+    arbitrary JSON-serialisable annotation (training episodes, seed, …).
+    """
+    method = _method_name(controller)
+    state = controller.state_dict()
+    flat, keys = _flatten_state(state)
+    meta = {
+        "method": method,
+        "scenario": dataclasses.asdict(scenario or ScenarioConfig()),
+        "rewards": dataclasses.asdict(rewards or RewardConfig()),
+        "hyper": dataclasses.asdict(hyper or PaperHyperparameters()),
+        "build": dict(build if build is not None else _default_build(controller)),
+        "keys": keys,
+        "extra": dict(extra or {}),
+    }
+    np.savez(
+        path,
+        format_version=np.int64(CHECKPOINT_FORMAT_VERSION),
+        meta=encode_json_meta(meta),
+        flat_params=flat,
+    )
+
+
+@dataclass
+class Checkpoint:
+    """A parsed archive: metadata plus the flat parameter vector."""
+
+    meta: dict
+    flat_params: np.ndarray
+
+    @property
+    def method(self) -> str:
+        return self.meta["method"]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Scatter the flat vector back into named parameter arrays."""
+        return _scatter_state(self.flat_params, self.meta["keys"])
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Parse and validate an archive written by :func:`save_checkpoint`."""
+    try:
+        with np.load(path) as archive:
+            missing = [k for k in _ARCHIVE_KEYS if k not in archive.files]
+            if missing:
+                raise CheckpointError(
+                    f"not a policy checkpoint: missing archive keys {missing}"
+                )
+            version = int(archive["format_version"])
+            if version != CHECKPOINT_FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint format version {version} "
+                    f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+                )
+            try:
+                meta = decode_json_meta(archive["meta"])
+            except Exception as exc:
+                raise CheckpointError(
+                    f"corrupted checkpoint metadata: {exc}"
+                ) from exc
+            flat = np.asarray(archive["flat_params"], dtype=np.float64)
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    for field in ("method", "scenario", "rewards", "hyper", "build", "keys"):
+        if field not in meta:
+            raise CheckpointError(
+                f"corrupted checkpoint metadata: missing field {field!r}"
+            )
+    return Checkpoint(meta=meta, flat_params=flat)
+
+
+# ---------------------------------------------------------------------------
+# Policy rebuild
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadedPolicy:
+    """A controller rebuilt from a checkpoint, plus its training configs."""
+
+    method: str
+    controller: object
+    scenario: ScenarioConfig
+    rewards: RewardConfig
+    hyper: PaperHyperparameters
+    checkpoint: Checkpoint
+
+
+def load_policy(path) -> LoadedPolicy:
+    """Rebuild a ready-to-serve controller from a checkpoint archive.
+
+    HERO checkpoints reconstruct a :class:`~repro.core.hero.HeroTeam` over
+    a fresh :class:`~repro.envs.CooperativeLaneChangeEnv`; baseline
+    checkpoints go through :func:`~repro.baselines.make_baseline`.  The
+    construction-time RNG seed is irrelevant — every parameter is
+    overwritten by the archive, and serving runs greedily.
+    """
+    ckpt = load_checkpoint(path)
+    meta = ckpt.meta
+    try:
+        scenario = ScenarioConfig(**meta["scenario"])
+        rewards = RewardConfig(**meta["rewards"])
+        hyper = PaperHyperparameters(**meta["hyper"])
+    except TypeError as exc:
+        raise CheckpointError(f"corrupted checkpoint config: {exc}") from exc
+    build = dict(meta["build"])
+
+    if ckpt.method == "hero":
+        from ..core.hero import HeroTeam
+        from ..envs.lane_change_env import CooperativeLaneChangeEnv
+
+        env = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
+        controller = HeroTeam(
+            env, np.random.default_rng(0), hyper=hyper, **build
+        )
+    else:
+        from ..baselines.registry import BASELINES, make_baseline
+        from ..envs.wrappers import make_baseline_env
+
+        if ckpt.method not in BASELINES:
+            raise CheckpointError(
+                f"unknown checkpoint method {ckpt.method!r}; "
+                f"options: ['hero'] + {sorted(BASELINES)}"
+            )
+        env = make_baseline_env(scenario=scenario, rewards=rewards)
+        controller = make_baseline(ckpt.method, env, seed=0, **build)
+
+    try:
+        controller.load_state_dict(ckpt.state_dict())
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint parameters do not match the rebuilt "
+            f"{ckpt.method!r} controller: {exc}"
+        ) from exc
+    return LoadedPolicy(
+        method=ckpt.method,
+        controller=controller,
+        scenario=scenario,
+        rewards=rewards,
+        hyper=hyper,
+        checkpoint=ckpt,
+    )
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "LoadedPolicy",
+    "load_checkpoint",
+    "load_policy",
+    "save_checkpoint",
+]
