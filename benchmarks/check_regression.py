@@ -38,7 +38,8 @@ from pathlib import Path
 # sharded multi-process env step (N=32 over 2 workers: shared-memory
 # round trip + dispatch overhead), one async actor-learner round trip
 # (parameter-snapshot publish/read + transition-payload put/get through
-# the shared-memory plumbing), and one full-slot micro-batched inference
+# the shared-memory plumbing), one 2-actor lockstep merge round through
+# the ActorFanIn rotation, and one full-slot micro-batched inference
 # pass of the serving stack (32 client slots through one stacked
 # forward).  Names match pytest node names.
 GATED_BENCHMARKS = (
@@ -50,6 +51,7 @@ GATED_BENCHMARKS = (
     "test_update_engine_cycle",
     "test_sharded_env_step",
     "test_actor_learner_roundtrip",
+    "test_actor_fanin_roundtrip",
     "test_inference_batch_cycle",
 )
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"

@@ -16,7 +16,12 @@ contract:
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_async_cycle.py \
-        --episodes 3 --num-envs 2 --max-staleness 2
+        --episodes 3 --num-envs 2 --max-staleness 2 --num-actors 2
+
+``--num-actors N`` fans collection out over N actor processes; the
+lockstep drift check must hold at any width (that is the fan-out's
+equivalence contract), and the staleness run additionally partitions
+the episode universe across the actors.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ def _hero_logger(
     async_actors: bool,
     fused: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ):
     config = TrainingConfig(seed=seed)
     config.scenario = SCENARIO
@@ -58,6 +64,7 @@ def _hero_logger(
         fused_updates=fused,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
 
 
@@ -69,6 +76,7 @@ def _idqn_logger(
     async_actors: bool,
     fused: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ):
     vec_env = make_baseline_vector_env(num_envs, scenario=SCENARIO)
     algo = make_baseline(
@@ -85,6 +93,7 @@ def _idqn_logger(
             fused_updates=fused,
             async_actors=async_actors,
             max_staleness=max_staleness,
+            num_actors=num_actors,
         )
     finally:
         vec_env.close()
@@ -106,22 +115,39 @@ def _assert_logs_equal(name: str, what: str, log_a, log_b) -> None:
             )
 
 
-def check_lockstep(train, name: str, prefix: str, episodes, num_envs, seed) -> None:
+def check_lockstep(
+    train, name: str, prefix: str, episodes, num_envs, seed, num_actors
+) -> None:
     """Async lockstep must match the synchronous loop bit-for-bit."""
     for fused in (False, True):
-        what = f"async-lockstep-vs-sync ({'fused' if fused else 'plain'})"
+        what = (
+            f"async-lockstep({num_actors} actors)-vs-sync "
+            f"({'fused' if fused else 'plain'})"
+        )
         log_sync = train(episodes, num_envs, seed, async_actors=False, fused=fused)
-        log_async = train(episodes, num_envs, seed, async_actors=True, fused=fused)
+        log_async = train(
+            episodes,
+            num_envs,
+            seed,
+            async_actors=True,
+            fused=fused,
+            num_actors=num_actors,
+        )
         _assert_logs_equal(name, what, log_sync, log_async)
         print(f"{name}: {what}: no drift over {episodes} episodes")
 
 
 def check_staleness(
-    train, name: str, prefix: str, episodes, num_envs, seed, budget: int
+    train, name: str, prefix: str, episodes, num_envs, seed, budget: int, num_actors
 ) -> None:
     """Staleness mode must finish the budget and log bounded staleness."""
     logger = train(
-        episodes, num_envs, seed, async_actors=True, max_staleness=budget
+        episodes,
+        num_envs,
+        seed,
+        async_actors=True,
+        max_staleness=budget,
+        num_actors=num_actors,
     )
     recorded = logger.values(f"{prefix}/episode_reward").size
     if recorded != episodes:
@@ -148,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--episodes", type=int, default=3)
     parser.add_argument("--num-envs", type=int, default=2)
     parser.add_argument("--max-staleness", type=int, default=2)
+    parser.add_argument("--num-actors", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -155,7 +182,15 @@ def main(argv: list[str] | None = None) -> int:
         (_hero_logger, "hero", "hero"),
         (_idqn_logger, "idqn", "idqn"),
     ):
-        check_lockstep(train, name, prefix, args.episodes, args.num_envs, args.seed)
+        check_lockstep(
+            train,
+            name,
+            prefix,
+            args.episodes,
+            args.num_envs,
+            args.seed,
+            args.num_actors,
+        )
         if args.max_staleness > 0:
             check_staleness(
                 train,
@@ -165,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.num_envs,
                 args.seed,
                 args.max_staleness,
+                args.num_actors,
             )
     return 0
 

@@ -305,6 +305,7 @@ def train_marl_vectorized(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> MetricLogger:
     """:func:`train_marl` with the rollout phase on a ``VectorBaselineEnv``.
 
@@ -336,6 +337,10 @@ def train_marl_vectorized(
     protocol yet).  ``max_staleness=0`` is a lockstep barrier, bitwise
     identical to the synchronous loop; larger values let the actor run
     ahead of the newest policy snapshot by that many collection rounds.
+    ``num_actors`` fans collection out to that many actor processes —
+    bitwise invariant under the lockstep barrier (replicated collection),
+    a stride partition of the same episode/seed universe when staleness
+    is allowed.
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name
@@ -403,6 +408,7 @@ def train_marl_vectorized(
                 update_fn,
                 engine=engine,
                 max_staleness=max_staleness,
+                num_actors=num_actors,
             )
         return _train_marl_vectorized_loop(
             vec_env,

@@ -68,6 +68,7 @@ def _cmd_run(args) -> int:
         fused_updates=args.fused_updates,
         async_actors=args.async_actors,
         max_staleness=args.max_staleness,
+        num_actors=args.num_actors,
         checkpoint_dir=args.checkpoint_dir,
     )
     return 0
@@ -88,6 +89,7 @@ def _cmd_run_all(args) -> int:
             fused_updates=args.fused_updates,
             async_actors=args.async_actors,
             max_staleness=args.max_staleness,
+            num_actors=args.num_actors,
         )
     return 0
 
@@ -270,6 +272,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--num-actors",
+        type=_positive_int,
+        default=1,
+        help=(
+            "rollout actor processes for --async-actors: with "
+            "--max-staleness 0 results stay bitwise identical at any "
+            "count (replicated collection); with --max-staleness > 0 "
+            "each actor collects its own slice of the episode universe "
+            "and collection throughput scales with the count"
+        ),
+    )
+    run.add_argument(
         "--checkpoint-dir",
         default=None,
         help=(
@@ -331,6 +345,18 @@ def build_parser() -> argparse.ArgumentParser:
             "rounds: 0 = lockstep barrier, bitwise identical to the "
             "synchronous loop; > 0 lets the actor run ahead of the newest "
             "policy snapshot and logs <prefix>/snapshot_staleness"
+        ),
+    )
+    run_all.add_argument(
+        "--num-actors",
+        type=_positive_int,
+        default=1,
+        help=(
+            "rollout actor processes for --async-actors: with "
+            "--max-staleness 0 results stay bitwise identical at any "
+            "count (replicated collection); with --max-staleness > 0 "
+            "each actor collects its own slice of the episode universe "
+            "and collection throughput scales with the count"
         ),
     )
     run_all.set_defaults(func=_cmd_run_all)

@@ -147,6 +147,13 @@ class TrainingConfig:
     # k > 0 lets the actor run up to k rounds ahead of the newest snapshot
     # (rollout and update genuinely overlap; staleness is logged per round).
     max_staleness: int = 0
+    # Number of rollout actor processes for async_actors (the fan-out).
+    # Under the lockstep barrier (max_staleness == 0) results are bitwise
+    # identical at any num_actors (replicated collection, round-robin
+    # attribution); with max_staleness > 0 each actor steps its own env
+    # batch on forked RNG streams and collection throughput scales with
+    # the actor count.
+    num_actors: int = 1
     epsilon_start: float = 1.0
     epsilon_end: float = 0.05
     epsilon_decay_episodes: int = 2_000

@@ -165,6 +165,7 @@ def train_hero(
     fused_updates: bool | None = None,
     async_actors: bool | None = None,
     max_staleness: int | None = None,
+    num_actors: int | None = None,
     checkpoint_path: str | None = None,
 ) -> MetricLogger:
     """Algorithm 1: train the high-level cooperative strategy.
@@ -207,7 +208,13 @@ def train_hero(
     how many collection rounds the actor may run ahead of the newest
     snapshot — 0 is a lockstep barrier, bitwise identical to the
     synchronous path; larger values overlap rollout and update and log
-    per-round snapshot staleness.
+    per-round snapshot staleness.  ``num_actors`` (default
+    ``config.num_actors``) fans the rollout phase out to that many actor
+    processes: under the lockstep barrier results stay bitwise identical
+    at any ``num_actors`` (replicated collection, round-robin
+    attribution); with ``max_staleness > 0`` each actor steps its own env
+    batch on forked RNG streams and collection throughput scales with the
+    actor count.
 
     ``checkpoint_path`` (optional) writes the trained team as a versioned
     serving checkpoint (:func:`repro.serving.save_checkpoint`) once
@@ -226,6 +233,8 @@ def train_hero(
         async_actors = config.async_actors
     if max_staleness is None:
         max_staleness = config.max_staleness
+    if num_actors is None:
+        num_actors = config.num_actors
     engine = UpdateEngine(team) if fused_updates else None
     update_fn = engine.update if engine is not None else team.update
     logger = logger or MetricLogger()
@@ -269,6 +278,7 @@ def train_hero(
                 update_fn=update_fn,
                 engine=engine,
                 max_staleness=max_staleness,
+                num_actors=num_actors,
             )
             return _finish_hero_training(team, env, config, checkpoint_path, logger)
         logger = _train_hero_vectorized(

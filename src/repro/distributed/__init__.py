@@ -3,10 +3,11 @@
 Two layers share this package.  The *simulated* layer (:class:`MessageBus`,
 :class:`AgentNode`) models the paper's lossy, delayed vehicle-to-vehicle
 network that distributed execution must tolerate.  The *real* layer is the
-async actor–learner training stack: rollout actors in separate processes
-push experience through a shared-memory :class:`ShmRingQueue` and pull
-versioned policy snapshots from the :class:`ParameterServer`, while the
-learner updates continuously (:func:`train_hero_async`,
+async actor–learner training stack: N rollout actors in separate
+processes each push experience through their own shared-memory
+:class:`ShmRingQueue` — merged learner-side by :class:`ActorFanIn` — and
+pull versioned policy snapshots from the :class:`ParameterServer`, while
+the learner updates continuously (:func:`train_hero_async`,
 :func:`train_marl_async`).
 """
 
@@ -23,10 +24,11 @@ from .protocol import (
     encode_rng_state,
     load_rng_state,
 )
-from .queues import QueueClosed, ShmRingQueue
+from .queues import ActorFanIn, QueueClosed, ShmRingQueue
 
 __all__ = [
     "ActorError",
+    "ActorFanIn",
     "AgentNode",
     "DistributedObservationService",
     "Message",

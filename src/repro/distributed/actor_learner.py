@@ -1,51 +1,75 @@
 """Async actor–learner training stack (Ape-X/IMPALA style) for DTDE runs.
 
-Topology: **one rollout actor process** drives the whole vectorized env
-batch with batched policy inference on a replica of the policy networks
-(``num_workers > 1`` shards the env *stepping* inside the actor across
-worker processes via :class:`~repro.envs.sharded_env.ShardedVectorEnv`),
-while the **learner** stays in the calling process, drains transition
-batches from a shared-memory :class:`~repro.distributed.queues.ShmRingQueue`
-and runs gradient updates continuously.  Fresh policy snapshots flow the
-other way through the :class:`~repro.distributed.parameter_server.ParameterServer`
-— double-buffered flat parameter vectors per network family (one
-``np.copyto`` out of the fused optimizers' flat buffers), versioned so
-the actor reports how stale the snapshot it acted on was.
+Topology: **N rollout actor processes** (``num_actors``) each drive a
+vectorized env batch with batched policy inference on a replica of the
+policy networks (``num_workers > 1`` shards the env *stepping* inside
+each actor across worker processes via
+:class:`~repro.envs.sharded_env.ShardedVectorEnv`), while the **learner**
+stays in the calling process, drains transition batches from per-actor
+shared-memory :class:`~repro.distributed.queues.ShmRingQueue` rings
+merged by :class:`~repro.distributed.queues.ActorFanIn`, and runs
+gradient updates continuously.  Fresh policy snapshots flow the other
+way through the
+:class:`~repro.distributed.parameter_server.ParameterServer` — one
+double-buffered segment serves every actor (readers only attach), and
+each payload reports the snapshot version that actor acted with, so the
+learner logs aggregate and per-actor ``snapshot_staleness``.
 
-A single policy-stepping actor is a deliberate choice, not a limitation:
-option selection consumes one shared RNG stream across the env batch, so
-splitting the batch over several policy replicas would reorder draws and
-break the determinism contract below.  Env *dynamics* have no such
-coupling, which is why stepping still fans out across shard workers.
+Option selection consumes one shared RNG stream across an env batch, so
+an env batch is never *split* across actors (batch-shaped draws and
+batch-shaped BLAS forwards would both change bits).  Fan-out instead
+changes what each whole actor steps, per mode:
 
-Determinism contract (``max_staleness``):
+* **Lockstep fan-out** (``max_staleness=0``) — *replicated collection*.
+  All N actors step identical env-batch replicas: same env seeds, same
+  snapshot, same published RNG sidecar each round, hence identical
+  trajectories.  Every replica ships every round; the learner drains the
+  full replica set in rotation (``ActorFanIn.get(expected=merged % N)``)
+  before publishing the next version, replaying only the round owner's
+  (``round % N``) bit-identical copy.  The drain is the lockstep
+  barrier: each ship acks that its replica has consumed the current
+  snapshot, so every replica's next ``read`` observes exactly
+  ``version == round`` — without it, a newest-wins read would let a fast
+  learner feed a slow replica a later snapshot and silently fork the
+  replicated state.  The learner adopts the shipped post-round RNG
+  state, replays the captured experience in order, updates, and
+  publishes version ``round + 1`` — so the run is **bitwise identical**
+  to the synchronous vectorized loop at any ``num_actors``
+  (``tests/test_actor_learner.py`` locks N in {1, 2, 3}).  This is the
+  correctness mode: replication buys attribution coverage, not
+  throughput.
+* **Staleness fan-out** (``max_staleness=k > 0``) — *partitioned
+  collection*, the throughput mode.  Each actor runs its *own* env batch
+  on actor-indexed forked RNG streams
+  (:func:`~repro.utils.seeding.spawn_rngs` over ``num_actors * agents``
+  children, actor-major, so actor 0 keeps the single-actor streams), and
+  IDQN partitions the episode universe by stride
+  (:func:`~repro.utils.seeding.episode_partition`: actor ``k`` owns
+  episodes ``k, k+N, k+2N, ...``), so any N consumes the same
+  :func:`~repro.utils.seeding.episode_reset_seeds` universe.  Every
+  actor imports the newest snapshot with version >= ``round - k`` before
+  each of its rounds; collection and update genuinely overlap and scale
+  with N.  The learner logs ``{prefix}/snapshot_staleness`` (aggregate,
+  at the merged-payload counter) and
+  ``{prefix}/snapshot_staleness/actor{k}`` (per actor, at that actor's
+  round counter).
 
-* ``max_staleness=0`` — lockstep barrier.  The actor waits for snapshot
-  version ``r`` before collection round ``r`` and ships its post-round
-  RNG state with each payload; the learner adopts that state, replays
-  the captured experience in order, updates, and publishes version
-  ``r + 1`` with its post-update RNG state.  Exactly one of the two
-  processes is consuming each RNG stream at any time, so the run is
-  **bitwise identical** to the synchronous vectorized loop
-  (``tests/test_actor_learner.py`` locks this).
-* ``max_staleness=k > 0`` — the actor runs ahead on forked RNG streams
-  (:func:`~repro.utils.seeding.spawn_rngs`), importing the newest
-  snapshot with version >= ``round - k`` before each round; rollout and
-  update genuinely overlap.  The learner logs per-round
-  ``{prefix}/snapshot_staleness`` so seeded runs can histogram the
-  versions actually used.
-
-Shutdown: the learner sets the server's stop flag, closes the queue
-(waking an actor blocked on backpressure), joins the actor and unlinks
-both shared-memory segments.  An actor-side failure — including a shard
+Shutdown: the learner sets the server's stop flag, closes every queue
+(waking actors blocked on backpressure), joins the actors and unlinks
+every shared-memory segment.  An actor-side failure — including a shard
 worker death inside its ``ShardedVectorEnv`` — arrives as an
-:class:`~repro.distributed.protocol.ActorError` frame and is re-raised
-by the learner with the original traceback (naming the failing shard).
+:class:`~repro.distributed.protocol.ActorError` frame carrying the
+actor id and jumps the fan-in merge; an actor that dies without
+reporting (SIGKILL, ``os._exit``) is caught by the learner's abort poll,
+which names the dead actor process.  Either way the learner re-raises a
+``RuntimeError`` naming the failing actor and tears the whole fleet
+down.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 import warnings
 
@@ -75,10 +99,10 @@ from ..envs.sharded_env import EnvReplicaFactory
 from ..envs.wrappers import make_baseline_vector_env
 from ..nn.layers import Linear
 from ..utils.logging_utils import MetricLogger
-from ..utils.seeding import episode_reset_seeds, spawn_rngs
+from ..utils.seeding import episode_partition, episode_reset_seeds, spawn_rngs
 from .parameter_server import ParameterServer
 from .protocol import ActorError, RolloutPayload, encode_rng_state, load_rng_state
-from .queues import QueueClosed, ShmRingQueue
+from .queues import ActorFanIn, QueueClosed, ShmRingQueue
 
 __all__ = ["train_hero_async", "train_marl_async"]
 
@@ -87,9 +111,10 @@ __all__ = ["train_hero_async", "train_marl_async"]
 # shard workers' model.
 _CTX = mp.get_context("spawn")
 
-# Transition-queue capacity.  A HERO collection round ships every SMDP
-# transition and opponent observation of the batch since the last round;
-# 64 MiB holds hundreds of rounds of headroom and bounds learner lag.
+# Per-actor transition-queue capacity.  A HERO collection round ships
+# every SMDP transition and opponent observation of the batch since the
+# last round; 64 MiB holds hundreds of rounds of headroom and bounds
+# learner lag.  Each actor gets its own ring (SPSC stays single-writer).
 _QUEUE_BYTES = 64 << 20
 
 _JOIN_TIMEOUT = 10.0
@@ -112,15 +137,16 @@ def _parent_abort() -> str | None:
     return None
 
 
-def _actor_abort(process: mp.Process):
-    """Abort callback for learner-side waits when the actor is gone."""
+def _actor_abort(processes):
+    """Abort callback for learner-side waits: names the first dead actor."""
 
     def check() -> str | None:
-        if not process.is_alive():
-            return (
-                "async actor process died without reporting an error "
-                f"(exit code {process.exitcode})"
-            )
+        for process in processes:
+            if not process.is_alive():
+                return (
+                    f"async actor process '{process.name}' died without "
+                    f"reporting an error (exit code {process.exitcode})"
+                )
         return None
 
     return check
@@ -138,21 +164,25 @@ def _make_exporter(members, flat: np.ndarray | None = None):
     return lambda: gather_family(members, out)
 
 
-def _shutdown(server, queue, process, *closeables) -> None:
+def _shutdown(server, queues, processes, *closeables) -> None:
     """Tear the stack down in signal order; never leaves an orphan or shm.
 
-    Stop flag first (wakes an actor polling the server), queue close
-    second (wakes an actor blocked on backpressure), then join — with a
-    terminate fallback so a wedged actor cannot hang the learner — and
-    finally close + unlink both shared-memory segments.
+    Stop flag first (wakes actors polling the server), queue closes
+    second (wakes actors blocked on backpressure), then join every actor
+    — with a terminate fallback so a wedged actor cannot hang the
+    learner — and finally close + unlink every shared-memory segment.
     """
     server.request_stop()
-    queue.close()
-    process.join(timeout=_JOIN_TIMEOUT)
-    if process.is_alive():
-        process.terminate()
+    for queue in queues:
+        queue.close()
+    for process in processes:
         process.join(timeout=_JOIN_TIMEOUT)
-    queue.release()
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=_JOIN_TIMEOUT)
+    for queue in queues:
+        queue.release()
     server.release()
     for closeable in closeables:
         if closeable is not None:
@@ -161,8 +191,28 @@ def _shutdown(server, queue, process, *closeables) -> None:
 
 def _check_payload(payload) -> RolloutPayload:
     if isinstance(payload, ActorError):
-        raise RuntimeError(f"async actor failed:\n{payload.message}")
+        raise RuntimeError(
+            f"async actor {payload.actor_id} failed:\n{payload.message}"
+        )
     return payload
+
+
+def _actor_seed_sets(rng, num_envs: int, num_actors: int, lockstep: bool):
+    """Per-actor env reset seeds for HERO fan-out.
+
+    Lockstep replicates: every actor steps the same seeds (one draw of
+    ``num_envs``, shared), so trajectories are identical and round
+    attribution can rotate.  Staleness partitions: each actor draws its
+    own batch, actor-major, so actor 0's seeds are exactly the
+    single-actor run's at any N.
+    """
+    if lockstep:
+        seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(num_envs)]
+        return [seeds] * num_actors
+    return [
+        [int(rng.integers(0, 2**31 - 1)) for _ in range(num_envs)]
+        for _ in range(num_actors)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -200,6 +250,12 @@ def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
     records are captured as an ordered event log instead of being applied
     locally — the learner replays them verbatim, so its buffers evolve
     exactly as the synchronous loop's would.
+
+    Fan-out: in lockstep mode all ``num_actors`` replicas collect and
+    ship every round (the learner replays the round owner's bit-identical
+    copy and treats each ship as that replica's snapshot ack); in
+    staleness mode this actor's batch is its own partition of the
+    collection workload.
     """
     vec_env = None
     try:
@@ -241,6 +297,7 @@ def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
         worker.reset(spec["seeds"])
         max_staleness = spec["max_staleness"]
         lockstep = max_staleness == 0
+        actor_id = spec["actor_id"]
         round_index = 0
         while not server.stop_requested:
             try:
@@ -258,6 +315,13 @@ def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
                     load_rng_state(high._rng, rng_words[j])
             events.clear()
             stats = worker.collect(spec["epsilon_schedule"])
+            # Every replica ships every round.  In lockstep the ship is
+            # also this replica's ack that it consumed the current
+            # snapshot: the learner publishes version r+1 only after
+            # draining all N round-r payloads, so a replica's next read
+            # observes exactly version r+1 — a newest-wins read without
+            # that barrier lets a fast learner feed a slow replica a
+            # later snapshot and silently fork the replicated state.
             payload = RolloutPayload(
                 round_index=round_index,
                 version_used=version,
@@ -271,6 +335,7 @@ def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
                 rng_states=(
                     [encode_rng_state(h._rng) for h in highs] if lockstep else []
                 ),
+                actor_id=actor_id,
             )
             try:
                 queue.put(payload, abort=_parent_abort)
@@ -279,7 +344,13 @@ def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
             round_index += 1
     except Exception:
         try:
-            queue.put(ActorError(message=traceback.format_exc()), timeout=5.0)
+            queue.put(
+                ActorError(
+                    message=traceback.format_exc(),
+                    actor_id=spec.get("actor_id", -1),
+                ),
+                timeout=5.0,
+            )
         except Exception:
             pass
     finally:
@@ -307,12 +378,16 @@ def train_hero_async(
     update_fn,
     engine=None,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> MetricLogger:
     """Algorithm 1 on the async actor–learner stack.
 
     Same contract as the synchronous ``_train_hero_vectorized`` — at
-    ``max_staleness=0`` the same bits, at ``max_staleness>0`` overlapped
-    rollout and update with staleness logged per round.  ``engine`` is
+    ``max_staleness=0`` the same bits (at any ``num_actors``), at
+    ``max_staleness>0`` overlapped rollout and update with aggregate and
+    per-actor staleness logged per round.  ``num_actors`` fans collection
+    out over that many actor processes (see the module docstring for the
+    replicated-lockstep / partitioned-staleness split).  ``engine`` is
     the :class:`~repro.core.update_engine.UpdateEngine` behind
     ``update_fn`` when fused updates are active; its flat optimizer
     buffers make each snapshot publish a plain ``np.copyto``.
@@ -330,6 +405,8 @@ def train_hero_async(
         )
     if max_staleness < 0:
         raise ValueError(f"max_staleness must be >= 0, got {max_staleness}")
+    if num_actors < 1:
+        raise ValueError(f"num_actors must be >= 1, got {num_actors}")
 
     factory = EnvReplicaFactory(
         scenario=env.scenario,
@@ -365,13 +442,27 @@ def train_hero_async(
 
     lockstep = max_staleness == 0
     server = ParameterServer(slots, num_rngs=len(highs))
-    queue = ShmRingQueue(_QUEUE_BYTES, context=_CTX)
-    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(num_envs)]
-    spec = {
+    queues = [ShmRingQueue(_QUEUE_BYTES, context=_CTX) for _ in range(num_actors)]
+    seed_sets = _actor_seed_sets(rng, num_envs, num_actors, lockstep)
+    # Actor-major RNG forks: actor k's agent streams are children
+    # [k * agents, (k + 1) * agents) of one SeedSequence, so actor 0's
+    # streams equal the single-actor run's at any fan-out (SeedSequence
+    # children depend only on their index, not on how many are spawned).
+    actor_streams = (
+        None
+        if lockstep
+        else [
+            encode_rng_state(g)
+            for g in spawn_rngs(
+                config.seed + _ACTOR_RNG_SALT, num_actors * len(highs)
+            )
+        ]
+    )
+    shared_spec = {
         "factory": factory,
         "num_envs": num_envs,
         "num_workers": num_workers,
-        "seeds": seeds,
+        "num_actors": num_actors,
         "epsilon_schedule": epsilon_schedule,
         "hyper": team.hyper,
         "option_set_args": (
@@ -385,24 +476,33 @@ def train_hero_async(
             encode_rng_state(team.skills.driving_in_lane._rng),
             encode_rng_state(team.skills.lane_change._rng),
         ],
-        "actor_rng": (
-            None
-            if lockstep
-            else [
-                encode_rng_state(g)
-                for g in spawn_rngs(config.seed + _ACTOR_RNG_SALT, len(highs))
-            ]
-        ),
         "has_opponent_slot": has_opponent_slot,
         "max_staleness": max_staleness,
     }
     # Version 0 — current weights and RNG states — must exist before the
-    # actor's first read.
+    # actors' first read.
     server.publish({name: fn() for name, fn in exporters.items()}, rng_sidecar())
-    process = _CTX.Process(
-        target=_hero_actor_main, args=(spec, server, queue), name="hero-actor"
-    )
-    process.start()
+    processes = []
+    for k in range(num_actors):
+        spec = dict(
+            shared_spec,
+            actor_id=k,
+            seeds=seed_sets[k],
+            actor_rng=(
+                None
+                if lockstep
+                else actor_streams[k * len(highs) : (k + 1) * len(highs)]
+            ),
+        )
+        processes.append(
+            _CTX.Process(
+                target=_hero_actor_main,
+                args=(spec, server, queues[k]),
+                name=f"hero-actor-{k}",
+            )
+        )
+    for process in processes:
+        process.start()
 
     eval_vec = None
     try:
@@ -427,18 +527,49 @@ def train_hero_async(
                     eval_vec, team, episodes=episodes, seed=seed, runner=eval_runner
                 )
 
-        abort = _actor_abort(process)
+        abort = _actor_abort(processes)
+        fan_in = ActorFanIn(queues)
         completed = 0
+        merged = 0  # payloads consumed; the global round counter in lockstep
         losses: dict[str, float] = {}
         while completed < episodes:
-            payload = _check_payload(queue.get(abort=abort))
             if lockstep:
+                # Drain one payload per replica, in rotation.  Draining
+                # the full replica set before the next publish is the
+                # lockstep barrier: each ship acks that its replica has
+                # consumed the current snapshot, so every replica's next
+                # read observes exactly version == round.  The round
+                # owner's copy (round % N) is replayed; the rest are
+                # bit-identical and only served as acks.
+                round_payloads = []
+                for _ in range(num_actors):
+                    round_payloads.append(
+                        _check_payload(
+                            fan_in.get(expected=merged % num_actors, abort=abort)
+                        )
+                    )
+                    merged += 1
+                round_idx = merged // num_actors - 1
+                payload = round_payloads[round_idx % num_actors]
                 for high, words in zip(highs, payload.rng_states):
                     load_rng_state(high._rng, words)
             else:
+                payload = _check_payload(fan_in.get(abort=abort))
+                merged += 1
+                # version_used can exceed this actor's round counter when
+                # other actors drive versions up faster; staleness is the
+                # lag behind the actor's own progress, floored at 0.  The
+                # aggregate series is logged at the merged-payload counter
+                # (monotonic across actors; equals round_index at N=1).
+                staleness = float(
+                    max(payload.round_index - payload.version_used, 0)
+                )
                 logger.log(
-                    f"{metric_prefix}/snapshot_staleness",
-                    float(payload.round_index - payload.version_used),
+                    f"{metric_prefix}/snapshot_staleness", staleness, merged - 1
+                )
+                logger.log(
+                    f"{metric_prefix}/snapshot_staleness/actor{payload.actor_id}",
+                    staleness,
                     payload.round_index,
                 )
             # Replay the actor's capture log: buffer pushes and opponent
@@ -486,7 +617,7 @@ def train_hero_async(
                 )
         return logger
     finally:
-        _shutdown(server, queue, process, eval_vec)
+        _shutdown(server, queues, processes, eval_vec)
 
 
 # ---------------------------------------------------------------------------
@@ -502,11 +633,34 @@ def _idqn_hidden_dim(algorithm: IndependentDQN) -> int:
     raise ValueError("IDQN trunk has no Linear layer")
 
 
+def _idqn_episode_plan(episodes: int, n: int, num_actors: int, actor: int):
+    """Episode universe bookkeeping shared by the IDQN actor and learner.
+
+    Returns ``(universe, my_episodes)``: the size of the
+    :func:`episode_reset_seeds` universe and the (global) episode indices
+    this actor walks, in start order.  The universe is padded so every
+    actor can seed its initial batch of ``n`` envs; indices at or beyond
+    ``episodes`` are warm-up/overflow episodes that are stepped but never
+    counted.  At ``num_actors=1`` this reduces to the synchronous loop's
+    ``max(episodes, n)`` universe walked in order.
+    """
+    universe = max(episodes, n * num_actors)
+    return universe, episode_partition(universe, num_actors, actor)
+
+
 def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
     """IDQN rollout actor: replicates the synchronous vectorized loop's
     env/episode accounting step for step, acting on snapshots and shipping
     per-step transition rows; every step that would trigger updates in the
-    synchronous loop closes a collection round."""
+    synchronous loop closes a collection round.
+
+    Fan-out: lockstep replicas all walk the full episode universe (only
+    actor ``round % num_actors`` ships each round); staleness actors walk
+    their :func:`episode_partition` stride of the same universe and ship
+    every round they close.  Either way the actor keeps stepping until
+    the learner's stop flag — exiting early would race the learner's
+    liveness poll, which treats a missing actor process as a crash.
+    """
     vec_env = None
     try:
         algo = IndependentDQN(
@@ -532,20 +686,31 @@ def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
         schedule = spec["epsilon_schedule"]
         max_staleness = spec["max_staleness"]
         lockstep = max_staleness == 0
+        actor_id = spec["actor_id"]
+        num_actors = spec["num_actors"]
+        # Lockstep replicates the whole universe on every actor; staleness
+        # partitions it by stride.
+        part_actors, part_id = (1, 0) if lockstep else (num_actors, actor_id)
 
         n = vec_env.num_envs
-        reset_seeds = episode_reset_seeds(spec["seed"], max(episodes, n))
-        episode_of_env = np.arange(n)
-        next_to_start = n
+        universe, my_episodes = _idqn_episode_plan(episodes, n, part_actors, part_id)
+        reset_seeds = episode_reset_seeds(spec["seed"], universe)
+        episode_of_env = my_episodes[:n].copy()
+        next_slot = n
+        budget_count = int((my_episodes < episodes).sum())
+        completed_budget = 0
         obs = vec_env.reset(seeds=[int(reset_seeds[e]) for e in episode_of_env])
 
         rows: list[dict] = []
-        completed: set[int] = set()
-        next_to_log = 0
         round_index = 0
         version = -1
         need_snapshot = True
-        while next_to_log < episodes and not server.stop_requested:
+        while not server.stop_requested:
+            if completed_budget >= budget_count and not need_snapshot:
+                # Budget drained and no round pending: idle until the
+                # learner's stop flag rather than busy-stepping envs.
+                time.sleep(0.01)
+                continue
             if need_snapshot:
                 try:
                     version, vectors, rng_words = server.read(
@@ -586,6 +751,9 @@ def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
             obs = next_obs
 
             if any(episode_of_env[i] < episodes for i in np.flatnonzero(dones)):
+                # Every replica ships every round; in lockstep the ship is
+                # also the snapshot ack that keeps each replica's next
+                # read at exactly version == round (see _hero_actor_main).
                 payload = RolloutPayload(
                     round_index=round_index,
                     version_used=version,
@@ -593,6 +761,7 @@ def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
                     rng_states=(
                         [encode_rng_state(algo._rng)] if lockstep else []
                     ),
+                    actor_id=actor_id,
                 )
                 try:
                     queue.put(payload, abort=_parent_abort)
@@ -601,24 +770,32 @@ def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
                 rows = []
                 round_index += 1
                 need_snapshot = True
+            elif completed_budget >= budget_count:
+                # All owned budget episodes done: keep stepping (see the
+                # docstring) but stop accumulating unshippable rows.
+                rows = []
 
             # Mirror the learner's episode accounting (the learner has no
             # envs; the actor has no logger — both follow the same rule).
             for i in np.flatnonzero(dones):
-                episode = int(episode_of_env[i])
-                if episode < episodes:
-                    completed.add(episode)
-                    while next_to_log in completed:
-                        next_to_log += 1
-                episode_of_env[i] = next_to_start
-                if next_to_start < len(reset_seeds):
-                    obs[i] = vec_env.reset_env(
-                        i, seed=int(reset_seeds[next_to_start])
-                    )
-                next_to_start += 1
+                if int(episode_of_env[i]) < episodes:
+                    completed_budget += 1
+                if next_slot < len(my_episodes):
+                    nxt = int(my_episodes[next_slot])
+                    episode_of_env[i] = nxt
+                    obs[i] = vec_env.reset_env(i, seed=int(reset_seeds[nxt]))
+                else:
+                    episode_of_env[i] = episodes  # out of budget: never counted
+                next_slot += 1
     except Exception:
         try:
-            queue.put(ActorError(message=traceback.format_exc()), timeout=5.0)
+            queue.put(
+                ActorError(
+                    message=traceback.format_exc(),
+                    actor_id=spec.get("actor_id", -1),
+                ),
+                timeout=5.0,
+            )
         except Exception:
             pass
     finally:
@@ -643,17 +820,24 @@ def train_marl_async(
     update_fn,
     engine=None,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> MetricLogger:
     """IDQN training on the async actor–learner stack.
 
     Drop-in for ``_train_marl_vectorized_loop`` (same argument roles; the
-    caller keeps ownership of ``eval_vec_env``): the actor process steps a
-    fresh replica of ``vec_env``'s configuration, the learner replays the
-    shipped transition rows into its own replay buffers and runs the
-    update/logging/eval sequence under the identical episode accounting.
+    caller keeps ownership of ``eval_vec_env``): each of the ``num_actors``
+    actor processes steps a fresh replica of ``vec_env``'s configuration,
+    the learner replays the shipped transition rows into its own replay
+    buffers and runs the update/logging/eval sequence under the identical
+    episode accounting.  Lockstep fan-out replicates collection (only the
+    round-robin owner ships, so results are bitwise independent of
+    ``num_actors``); staleness fan-out stride-partitions the episode
+    universe across actors for real collection parallelism.
     """
     if max_staleness < 0:
         raise ValueError(f"max_staleness must be >= 0, got {max_staleness}")
+    if num_actors < 1:
+        raise ValueError(f"num_actors must be >= 1, got {num_actors}")
     ids = algorithm.agent_ids
     members = [algorithm.q_networks[a].trunk for a in ids]
     impl = getattr(engine, "_impl", None)
@@ -662,8 +846,11 @@ def train_marl_async(
 
     lockstep = max_staleness == 0
     server = ParameterServer({"q": family_vector_size(members)}, num_rngs=1)
-    queue = ShmRingQueue(_QUEUE_BYTES, context=_CTX)
-    spec = {
+    queues = [ShmRingQueue(_QUEUE_BYTES, context=_CTX) for _ in range(num_actors)]
+    actor_streams = (
+        None if lockstep else spawn_rngs(seed + _ACTOR_RNG_SALT, num_actors)
+    )
+    shared_spec = {
         "agent_ids": list(ids),
         "obs_dim": algorithm.obs_dim,
         "num_actions": algorithm.num_actions,
@@ -675,36 +862,79 @@ def train_marl_async(
         "episodes": episodes,
         "seed": seed,
         "epsilon_schedule": epsilon_schedule,
-        "actor_rng": (
-            None
-            if lockstep
-            else encode_rng_state(spawn_rngs(seed + _ACTOR_RNG_SALT, 1)[0])
-        ),
         "max_staleness": max_staleness,
+        "num_actors": num_actors,
     }
     server.publish({"q": export()}, np.stack([encode_rng_state(algorithm._rng)]))
-    process = _CTX.Process(
-        target=_idqn_actor_main, args=(spec, server, queue), name="idqn-actor"
-    )
-    process.start()
+    processes = []
+    for k in range(num_actors):
+        spec = dict(
+            shared_spec,
+            actor_id=k,
+            actor_rng=(
+                None if lockstep else encode_rng_state(actor_streams[k])
+            ),
+        )
+        processes.append(
+            _CTX.Process(
+                target=_idqn_actor_main,
+                args=(spec, server, queues[k]),
+                name=f"idqn-actor-{k}",
+            )
+        )
+    for process in processes:
+        process.start()
 
     try:
         n = vec_env.num_envs
-        episode_of_env = np.arange(n)
-        next_to_start = n
+        # Mirror each collecting actor's episode accounting (one shared
+        # mirror in lockstep: the replicas all walk the full universe).
+        part_actors = 1 if lockstep else num_actors
+        mirrors = []
+        for k in range(part_actors):
+            _, mine = _idqn_episode_plan(episodes, n, part_actors, k)
+            mirrors.append(
+                {"mine": mine, "episode_of_env": mine[:n].copy(), "next_slot": n}
+            )
         pending: dict[int, dict] = {}
         next_to_log = 0
-        abort = _actor_abort(process)
+        merged = 0
+        abort = _actor_abort(processes)
+        fan_in = ActorFanIn(queues)
         while next_to_log < episodes:
-            payload = _check_payload(queue.get(abort=abort))
             if lockstep:
+                # Drain one payload per replica, in rotation — the
+                # lockstep barrier (see train_hero_async): each ship acks
+                # its replica's snapshot consumption, so every replica
+                # reads exactly version == round.  The round owner's copy
+                # is replayed; the rest are bit-identical acks.
+                round_payloads = []
+                for _ in range(num_actors):
+                    round_payloads.append(
+                        _check_payload(
+                            fan_in.get(expected=merged % num_actors, abort=abort)
+                        )
+                    )
+                    merged += 1
+                round_idx = merged // num_actors - 1
+                payload = round_payloads[round_idx % num_actors]
                 load_rng_state(algorithm._rng, payload.rng_states[0])
             else:
+                payload = _check_payload(fan_in.get(abort=abort))
+                merged += 1
+                staleness = float(
+                    max(payload.round_index - payload.version_used, 0)
+                )
                 logger.log(
-                    f"{prefix}/snapshot_staleness",
-                    float(payload.round_index - payload.version_used),
+                    f"{prefix}/snapshot_staleness", staleness, merged - 1
+                )
+                logger.log(
+                    f"{prefix}/snapshot_staleness/actor{payload.actor_id}",
+                    staleness,
                     payload.round_index,
                 )
+            mirror = mirrors[0] if lockstep else mirrors[payload.actor_id]
+            episode_of_env = mirror["episode_of_env"]
             for row in payload.data["rows"]:
                 algorithm.observe_batch(
                     row["obs"],
@@ -768,8 +998,12 @@ def train_marl_async(
                             if flushed["eval"]:
                                 logger.log_many(flushed["eval"], next_to_log)
                             next_to_log += 1
-                    episode_of_env[i] = next_to_start
-                    next_to_start += 1
+                    slot = mirror["next_slot"]
+                    if slot < len(mirror["mine"]):
+                        episode_of_env[i] = int(mirror["mine"][slot])
+                    else:
+                        episode_of_env[i] = episodes  # out of budget
+                    mirror["next_slot"] += 1
             if next_to_log < episodes:
                 server.publish(
                     {"q": export()}, np.stack([encode_rng_state(algorithm._rng)])
@@ -777,4 +1011,4 @@ def train_marl_async(
         algorithm.epsilon = float(epsilon_schedule(episodes - 1))
         return logger
     finally:
-        _shutdown(server, queue, process)
+        _shutdown(server, queues, processes)

@@ -47,10 +47,13 @@ class OptionAnnouncement(Message):
 class RolloutPayload:
     """One collection round's worth of experience from an actor.
 
-    ``round_index`` counts collection rounds on the actor;
-    ``version_used`` is the snapshot version the actor acted with, so the
-    learner can log staleness (``round_index - version_used``).  ``data``
-    is method-specific (the HERO capture log or the IDQN step rows) and
+    ``actor_id`` attributes the round to one of the learner's N actor
+    processes and ``round_index`` counts collection rounds on that actor
+    (in lockstep fan-out every actor tracks the same global round counter,
+    so the pair fully orders the merged stream).  ``version_used`` is the
+    snapshot version the actor acted with, so the learner can log
+    per-actor staleness (``round_index - version_used``).  ``data`` is
+    method-specific (the HERO capture log or the IDQN step rows) and
     ``rng_states`` carries the actor's post-collection generator states
     for the lockstep handoff (empty when staleness is allowed).
     """
@@ -59,13 +62,19 @@ class RolloutPayload:
     version_used: int
     data: dict = field(default_factory=dict)
     rng_states: list = field(default_factory=list)
+    actor_id: int = 0
 
 
 @dataclass
 class ActorError:
-    """Terminal failure report; the learner re-raises it as RuntimeError."""
+    """Terminal failure report; the learner re-raises it as RuntimeError.
+
+    ``actor_id`` names the failing actor (-1 when the failure predates
+    actor identity, e.g. a spec deserialisation error).
+    """
 
     message: str
+    actor_id: int = -1
 
 
 # ---------------------------------------------------------------------------

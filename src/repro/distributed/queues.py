@@ -1,13 +1,23 @@
-"""Shared-memory transition queue for the async actor–learner stack.
+"""Shared-memory transition queues for the async actor–learner stack.
 
 :class:`ShmRingQueue` is a bounded single-producer / single-consumer byte
 ring over one ``multiprocessing.shared_memory`` block.  Payloads are
 pickled into length-prefixed frames, so arbitrary rollout payloads
 (transition batches, stats, RNG states, error reports) cross the process
 boundary without a pipe; the bounded capacity is the stack's backpressure
-mechanism — when the learner falls behind, :meth:`put` blocks until the
-consumer drains a frame, which throttles the actor instead of letting the
-queue grow without bound.
+mechanism — when the learner falls behind, :meth:`ShmRingQueue.put`
+blocks until the consumer drains a frame, which throttles the actor
+instead of letting the queue grow without bound.
+
+:class:`ActorFanIn` merges N per-actor SPSC rings into the learner's
+single consumption stream (MPSC at the merge, SPSC on every ring — no
+ring ever has two writers, so the rings stay lock-cheap).  Lockstep
+fan-out drains with ``get(expected=k)`` — the learner knows exactly which
+actor ships each round — while staleness fan-out uses plain ``get()``,
+first-available round-robin starting one past the previously served
+actor so a fast producer cannot starve the others.  Error frames
+(:class:`~repro.distributed.protocol.ActorError`) jump the merge from
+any ring.
 
 Liveness: both ends poll in short slices and run an optional ``abort``
 callback between slices, so a dead peer (crashed actor, killed learner)
@@ -22,13 +32,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 import time
+from collections import deque
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..envs.sharded_env import _attach_shm
+from .protocol import ActorError
 
-__all__ = ["QueueClosed", "ShmRingQueue"]
+__all__ = ["ActorFanIn", "QueueClosed", "ShmRingQueue"]
 
 # Header: monotonically increasing byte counters (positions are taken
 # modulo the data capacity) plus the closed flag.
@@ -194,6 +206,25 @@ class ShmRingQueue:
                 self._not_empty.wait(_WAIT_SLICE)
         return pickle.loads(frame)
 
+    def poll(self):
+        """Non-blocking :meth:`get`: ``(True, payload)`` when a frame was
+        popped, ``(False, None)`` when the ring is currently empty.
+
+        Raises :class:`QueueClosed` once the queue is closed *and*
+        drained, exactly like :meth:`get` — frames enqueued before the
+        close are still delivered.
+        """
+        with self._not_empty:
+            if self._used() >= _LEN_BYTES:
+                length = int.from_bytes(self._read_bytes(_LEN_BYTES), "little")
+                frame = self._read_bytes(length)
+                self._not_full.notify()
+            elif self._header[_CLOSED]:
+                raise QueueClosed("queue is closed and drained")
+            else:
+                return False, None
+        return True, pickle.loads(frame)
+
     def qsize_bytes(self) -> int:
         """Bytes currently enqueued (frames plus their length prefixes)."""
         with self._lock:
@@ -231,3 +262,105 @@ class ShmRingQueue:
             self.release()
         except Exception:
             pass
+
+
+# Fan-in poll backoff: start near-spin so a lockstep round trip adds
+# microseconds, back off exponentially so an idle merge costs no CPU.
+_FANIN_MIN_SLICE = 1e-4
+_FANIN_MAX_SLICE = 0.02
+
+
+class ActorFanIn:
+    """MPSC merge over per-actor SPSC rings (consumer side only).
+
+    The learner owns one :class:`ShmRingQueue` per actor and drains them
+    through this merge.  Two modes:
+
+    * ``get(expected=k)`` — strict rotation for lockstep fan-out.  Blocks
+      until actor ``k``'s ring yields a frame; frames that surface
+      out of turn from other rings are held in per-ring pending buffers
+      and served when their turn comes, so the merge never reorders a
+      ring's FIFO stream.
+    * ``get()`` — first-available round-robin for staleness fan-out.  The
+      scan starts one past the previously served ring, so a producer that
+      is always ready cannot starve the others.
+
+    :class:`~repro.distributed.protocol.ActorError` frames are returned
+    immediately from *any* ring in either mode — a crashing actor must
+    not wait behind the rotation.  Once every ring is closed and drained
+    (or the expected ring is, in expected mode), raises
+    :class:`QueueClosed`.
+    """
+
+    def __init__(self, queues):
+        if not queues:
+            raise ValueError("ActorFanIn needs at least one queue")
+        self._queues = list(queues)
+        self._pending = [deque() for _ in self._queues]
+        self._exhausted = [False] * len(self._queues)
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._queues)
+
+    def _poll_one(self, index: int):
+        """Pop from ring ``index``'s pending buffer or the ring itself."""
+        if self._pending[index]:
+            return True, self._pending[index].popleft()
+        if self._exhausted[index]:
+            return False, None
+        try:
+            return self._queues[index].poll()
+        except QueueClosed:
+            self._exhausted[index] = True
+            return False, None
+
+    def get(self, expected: int | None = None, timeout: float | None = None, abort=None):
+        """Pop the next merged frame; see the class docstring for order.
+
+        Raises :class:`QueueClosed` when no further frame can arrive,
+        :class:`RuntimeError` via ``abort`` (polled between scan slices)
+        and :class:`TimeoutError` past ``timeout`` seconds.
+        """
+        count = len(self._queues)
+        if expected is not None and not 0 <= expected < count:
+            raise ValueError(f"expected must be in [0, {count}), got {expected}")
+        if count == 1 and not self._pending[0] and not self._exhausted[0]:
+            # Single-actor fast path: block on the ring's condition
+            # variable instead of poll-spinning (the PR 6 topology).
+            try:
+                return self._queues[0].get(timeout=timeout, abort=abort)
+            except QueueClosed:
+                self._exhausted[0] = True
+                raise
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = _FANIN_MIN_SLICE
+        while True:
+            if expected is None:
+                order = [(self._next + i) % count for i in range(count)]
+            else:
+                order = [expected] + [k for k in range(count) if k != expected]
+            for index in order:
+                ok, item = self._poll_one(index)
+                if not ok:
+                    continue
+                if isinstance(item, ActorError):
+                    return item  # crash reports jump the merge
+                if expected is None or index == expected:
+                    self._next = (index + 1) % count
+                    return item
+                self._pending[index].append(item)  # out of turn: hold it
+            if expected is not None:
+                if self._exhausted[expected] and not self._pending[expected]:
+                    raise QueueClosed(
+                        f"actor {expected}'s queue is closed and drained"
+                    )
+            elif all(self._exhausted) and not any(self._pending):
+                raise QueueClosed("all actor queues are closed and drained")
+            ShmRingQueue._check_abort(abort)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no actor produced a frame for {timeout:.1f}s"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2.0, _FANIN_MAX_SLICE)

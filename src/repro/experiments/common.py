@@ -164,6 +164,7 @@ def train_hero_method(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> TrainedMethod:
     """Two-stage HERO training (Algorithm 2 then Algorithm 1).
 
@@ -174,7 +175,9 @@ def train_hero_method(
     processes (applies when ``num_envs > 1``).  ``async_actors`` moves the
     rollout phase to a separate actor process on the async actor–learner
     stack; ``max_staleness`` bounds how far it may run ahead of the newest
-    policy snapshot (0 = lockstep, bitwise equal to the synchronous path).
+    policy snapshot (0 = lockstep, bitwise equal to the synchronous path);
+    ``num_actors`` fans collection out to that many actor processes
+    (bitwise invariant under lockstep).
     """
     config = TrainingConfig(
         seed=seed,
@@ -183,6 +186,7 @@ def train_hero_method(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
     config.scenario = scenario
     config.rewards = rewards
@@ -244,6 +248,7 @@ def train_baseline_method(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
     **baseline_kwargs,
 ) -> TrainedMethod:
     """Train one end-to-end baseline.
@@ -258,7 +263,8 @@ def train_baseline_method(
     worker processes; the pool is shut down before returning.
     ``async_actors`` runs the rollouts in a separate actor process (IDQN
     only; other baselines warn and fall back); ``max_staleness=0`` keeps
-    the run bitwise equal to the synchronous vectorized loop.
+    the run bitwise equal to the synchronous vectorized loop at any
+    ``num_actors`` fan-out.
     """
     env = make_baseline_env(scenario=scenario, rewards=rewards)
     algo = make_baseline(name, env, seed=seed, **baseline_kwargs)
@@ -287,6 +293,7 @@ def train_baseline_method(
                 fused_updates=fused_updates,
                 async_actors=async_actors,
                 max_staleness=max_staleness,
+                num_actors=num_actors,
             )
         finally:
             vec_env.close()
@@ -327,6 +334,7 @@ def train_all_methods(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> ExperimentResult:
     """Train HERO and the baselines on the shared scenario.
 
@@ -343,7 +351,8 @@ def train_all_methods(
     supporting method's rollouts in a separate actor process on the async
     actor–learner stack (``repro.distributed.actor_learner``; HERO and
     IDQN — the other baselines warn and stay synchronous);
-    ``max_staleness=0`` keeps async runs bitwise equal to synchronous.
+    ``max_staleness=0`` keeps async runs bitwise equal to synchronous at
+    any ``num_actors`` fan-out.
     """
     methods = methods or METHOD_NAMES
     scenario = scenario or bench_scenario()
@@ -371,6 +380,7 @@ def train_all_methods(
                 fused_updates=fused_updates,
                 async_actors=async_actors,
                 max_staleness=max_staleness,
+                num_actors=num_actors,
             )
         else:
             trained = train_baseline_method(
@@ -384,6 +394,7 @@ def train_all_methods(
                 fused_updates=fused_updates,
                 async_actors=async_actors,
                 max_staleness=max_staleness,
+                num_actors=num_actors,
             )
         result.methods[name] = trained
     return result

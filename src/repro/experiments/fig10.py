@@ -28,6 +28,7 @@ def run_fig10(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> dict:
     result = result or train_all_methods(
         scale=scale,
@@ -38,6 +39,7 @@ def run_fig10(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
     logger = result.methods["hero"].logger
     curves = {}

@@ -24,6 +24,7 @@ def run_fig11(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> dict:
     result = result or train_all_methods(
         scale=scale,
@@ -33,6 +34,7 @@ def run_fig11(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
     speeds = {}
     collisions = {}

@@ -32,6 +32,7 @@ def run_fig7(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> dict:
     """Train all methods and collect the three Fig. 7 panels.
 
@@ -52,6 +53,7 @@ def run_fig7(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
     panels: dict[str, dict[str, np.ndarray]] = {}
     for panel, (metric, _) in PANELS.items():

@@ -24,6 +24,7 @@ def run_fig8(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
 ) -> dict:
     """``num_envs``/``num_workers``/``async_actors``/``max_staleness`` are
     accepted for CLI uniformity; skill training is single-agent and stays

@@ -72,6 +72,7 @@ def run_experiment(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
     checkpoint_dir: str | None = None,
 ) -> dict:
     """Run one experiment end to end and print its report.
@@ -88,7 +89,8 @@ def run_experiment(
     on the async actor–learner stack (``repro.distributed.actor_learner``;
     HERO and IDQN), with ``max_staleness`` bounding how far the actor may
     run ahead of the newest policy snapshot (0 = lockstep, bitwise equal
-    to the synchronous path).  ``checkpoint_dir`` persists each trained
+    to the synchronous path) and ``num_actors`` fanning collection out to
+    that many actor processes (bitwise invariant under lockstep).  ``checkpoint_dir`` persists each trained
     method as a serving checkpoint and reloads instead of retraining when
     the directory is already complete (table2 only — the figure harnesses
     report training curves, which a checkpoint does not carry).
@@ -111,6 +113,7 @@ def run_experiment(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
         **extra_kwargs,
     )
     experiment.report(outputs)

@@ -110,6 +110,7 @@ def run_table2(
     fused_updates: bool = False,
     async_actors: bool = False,
     max_staleness: int = 0,
+    num_actors: int = 1,
     checkpoint_dir: str | None = None,
 ) -> dict:
     """Train all methods (vectorized when ``num_envs > 1``, sharded across
@@ -140,6 +141,7 @@ def run_table2(
         fused_updates=fused_updates,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
     if freshly_trained and checkpoint_dir is not None:
         _persist_methods(result, checkpoint_dir)

@@ -45,6 +45,25 @@ def episode_reset_seeds(seed: int, episodes: int) -> np.ndarray:
     )
 
 
+def episode_partition(episodes: int, num_actors: int, actor: int) -> np.ndarray:
+    """Strided slice of the episode universe owned by one rollout actor.
+
+    Actor ``k`` of ``N`` owns episodes ``k, k + N, k + 2N, ...`` — a pure
+    function of ``(episodes, num_actors, actor)``.  The slices are disjoint
+    and their union is exactly ``arange(episodes)`` for any ``N``, so a
+    fan-out of ``N`` actors consumes the same :func:`episode_reset_seeds`
+    universe as a single actor, each episode's seed exactly once.
+    ``num_actors == 1`` is the identity ``arange(episodes)``.
+    """
+    if episodes < 0:
+        raise ValueError(f"episodes must be non-negative, got {episodes}")
+    if num_actors < 1:
+        raise ValueError(f"num_actors must be >= 1, got {num_actors}")
+    if not 0 <= actor < num_actors:
+        raise ValueError(f"actor must be in [0, {num_actors}), got {actor}")
+    return np.arange(actor, episodes, num_actors, dtype=np.int64)
+
+
 def child_rng(rng: np.random.Generator, salt: int = 0) -> np.random.Generator:
     """Fork a fresh generator from an existing one (for lazily-built parts)."""
     seed = int(rng.integers(0, 2**63 - 1)) ^ (salt * 0x9E3779B97F4A7C15 % 2**63)

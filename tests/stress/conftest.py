@@ -1,0 +1,20 @@
+"""Stress-lane configuration: repetition control for randomized tests.
+
+Tests that accept the ``stress_round`` fixture are parametrized over
+``REPRO_STRESS_ROUNDS`` repetitions (default 1, so the regular tier-1 run
+stays fast; the CI stress job sets 20).  Each repetition receives its
+round index, which the tests fold into their RNG seeds — so every round
+exercises a different randomized schedule while any failure reproduces
+from its printed parameter id.
+"""
+
+from __future__ import annotations
+
+import os
+
+ROUNDS = int(os.environ.get("REPRO_STRESS_ROUNDS", "1"))
+
+
+def pytest_generate_tests(metafunc):
+    if "stress_round" in metafunc.fixturenames:
+        metafunc.parametrize("stress_round", range(ROUNDS))

@@ -1,0 +1,236 @@
+"""Concurrency stress locks for the shared-memory SPSC ring.
+
+Seeded randomized producer/consumer schedules (thread-based, so the
+whole interleaving runs in-process and stays fast) covering the
+properties the async stack depends on: FIFO integrity across wraparound,
+bounded occupancy under backpressure, close-during-drain delivery, abort
+propagation, and the non-blocking ``poll`` used by the fan-in merge.
+``REPRO_STRESS_ROUNDS`` repeats every randomized schedule with fresh
+seeds (the CI stress lane runs 20 rounds).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import QueueClosed, ShmRingQueue
+
+
+def _drain_all(queue, count, out, **kwargs):
+    for _ in range(count):
+        out.append(queue.get(timeout=30.0, **kwargs))
+
+
+def test_fifo_random_payloads_across_wraparound(stress_round):
+    """Random frame sizes through a tiny ring: every frame arrives intact
+    and in order, across many wrap points."""
+    rng = np.random.default_rng(1_000 + stress_round)
+    queue = ShmRingQueue(capacity=4096)
+    try:
+        frames = [
+            bytes(rng.integers(0, 256, size=int(rng.integers(0, 1200)), dtype=np.uint8))
+            for _ in range(200)
+        ]
+        received: list = []
+        consumer = threading.Thread(target=_drain_all, args=(queue, len(frames), received))
+        consumer.start()
+        for frame in frames:
+            queue.put(frame, timeout=30.0)
+            if rng.random() < 0.1:
+                time.sleep(0.001)
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        assert received == frames
+    finally:
+        queue.release()
+
+
+def test_random_interleaving_preserves_structured_payloads(stress_round):
+    """Randomly timed producer vs consumer with structured payloads
+    (tuples carrying arrays) — the pickle round trip never tears."""
+    rng = np.random.default_rng(2_000 + stress_round)
+    queue = ShmRingQueue(capacity=1 << 16)
+    try:
+        payloads = [
+            ("frame", i, rng.standard_normal(int(rng.integers(1, 64))))
+            for i in range(100)
+        ]
+        received: list = []
+
+        def consume():
+            local_rng = np.random.default_rng(3_000 + stress_round)
+            for _ in range(len(payloads)):
+                received.append(queue.get(timeout=30.0))
+                if local_rng.random() < 0.2:
+                    time.sleep(0.002)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for payload in payloads:
+            queue.put(payload, timeout=30.0)
+            if rng.random() < 0.2:
+                time.sleep(0.001)
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        assert len(received) == len(payloads)
+        for sent, got in zip(payloads, received):
+            assert got[0] == sent[0] and got[1] == sent[1]
+            np.testing.assert_array_equal(got[2], sent[2])
+    finally:
+        queue.release()
+
+
+def test_backpressure_bounds_occupancy_and_blocks_producer(stress_round):
+    """A producer that outruns the consumer blocks; ring occupancy never
+    exceeds capacity and a stalled consumer turns put into TimeoutError."""
+    rng = np.random.default_rng(4_000 + stress_round)
+    queue = ShmRingQueue(capacity=2048)
+    try:
+        frame = bytes(rng.integers(0, 256, size=600, dtype=np.uint8))
+        # Fill until full: with ~600B frames a 2048B ring holds at most 3.
+        stored = 0
+        with pytest.raises(TimeoutError):
+            for _ in range(10):
+                queue.put(frame, timeout=0.2)
+                stored += 1
+        assert 1 <= stored <= 3
+        assert queue.qsize_bytes() <= queue.capacity
+        # Draining one frame unblocks exactly one more put.
+        assert queue.get(timeout=5.0) == frame
+        queue.put(frame, timeout=5.0)
+        with pytest.raises(TimeoutError):
+            queue.put(frame, timeout=0.2)
+    finally:
+        queue.release()
+
+
+def test_close_during_drain_delivers_then_raises(stress_round):
+    """Frames enqueued before close() are still delivered, in order; the
+    next get/poll raises QueueClosed, and put is rejected immediately."""
+    rng = np.random.default_rng(5_000 + stress_round)
+    queue = ShmRingQueue(capacity=1 << 14)
+    try:
+        frames = [("pre-close", int(i), int(rng.integers(0, 1 << 30))) for i in range(7)]
+        for frame in frames:
+            queue.put(frame)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(("post-close", -1, -1))
+        received = [queue.get(timeout=5.0) for _ in range(len(frames))]
+        assert received == frames
+        with pytest.raises(QueueClosed):
+            queue.get(timeout=5.0)
+        with pytest.raises(QueueClosed):
+            queue.poll()
+    finally:
+        queue.release()
+
+
+def test_close_wakes_blocked_producer():
+    """close() from the consumer side wakes a producer stuck on a full
+    ring instead of leaving it to time out."""
+    queue = ShmRingQueue(capacity=1024)
+    try:
+        queue.put(bytes(700))
+        result: dict = {}
+
+        def blocked_put():
+            try:
+                queue.put(bytes(700), timeout=30.0)
+            except QueueClosed:
+                result["outcome"] = "closed"
+            except Exception as exc:  # pragma: no cover - diagnostic
+                result["outcome"] = repr(exc)
+
+        producer = threading.Thread(target=blocked_put)
+        producer.start()
+        time.sleep(0.1)
+        assert producer.is_alive(), "producer should be blocked on the full ring"
+        queue.close()
+        producer.join(timeout=10.0)
+        assert not producer.is_alive()
+        assert result["outcome"] == "closed"
+    finally:
+        queue.release()
+
+
+def test_abort_callback_raises_from_both_ends():
+    """The abort poll surfaces a dead peer as RuntimeError on a blocked
+    get (empty ring) and a blocked put (full ring)."""
+    queue = ShmRingQueue(capacity=1024)
+    try:
+        with pytest.raises(RuntimeError, match="peer gone"):
+            queue.get(abort=lambda: "peer gone")
+        queue.put(bytes(700))
+        with pytest.raises(RuntimeError, match="peer gone"):
+            queue.put(bytes(700), abort=lambda: "peer gone")
+    finally:
+        queue.release()
+
+
+def test_oversize_frame_rejected_outright():
+    queue = ShmRingQueue(capacity=256)
+    try:
+        with pytest.raises(ValueError, match="exceeds queue capacity"):
+            queue.put(bytes(512))
+        # The ring is untouched and still usable.
+        queue.put("small")
+        assert queue.get(timeout=5.0) == "small"
+    finally:
+        queue.release()
+
+
+def test_poll_is_nonblocking_and_equivalent_to_get(stress_round):
+    """poll() returns (False, None) on empty, pops FIFO otherwise, and
+    agrees with get() when mixed in the same drain."""
+    rng = np.random.default_rng(6_000 + stress_round)
+    queue = ShmRingQueue(capacity=1 << 14)
+    try:
+        assert queue.poll() == (False, None)
+        frames = [int(x) for x in rng.integers(0, 1 << 30, size=20)]
+        for frame in frames:
+            queue.put(frame)
+        received = []
+        while len(received) < len(frames):
+            if rng.random() < 0.5:
+                ok, item = queue.poll()
+                assert ok
+                received.append(item)
+            else:
+                received.append(queue.get(timeout=5.0))
+        assert received == frames
+        assert queue.poll() == (False, None)
+    finally:
+        queue.release()
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    frames=st.lists(
+        st.binary(min_size=0, max_size=200), min_size=1, max_size=40
+    ),
+    batch=st.integers(min_value=1, max_value=5),
+)
+def test_property_fifo_integrity_under_batched_schedules(frames, batch):
+    """Property lock: for any frame list and put-batch granularity, a
+    put/get schedule that never exceeds capacity is lossless and ordered."""
+    queue = ShmRingQueue(capacity=4096)
+    try:
+        received = []
+        index = 0
+        while index < len(frames):
+            chunk = frames[index : index + batch]
+            for frame in chunk:
+                queue.put(frame, timeout=5.0)
+            for _ in chunk:
+                received.append(queue.get(timeout=5.0))
+            index += batch
+        assert received == frames
+    finally:
+        queue.release()

@@ -40,7 +40,13 @@ from repro.envs import (
 SCENARIO = ScenarioConfig(episode_length=5)
 
 
-def _hero_run(async_actors: bool, *, fused: bool = False, max_staleness: int = 0):
+def _hero_run(
+    async_actors: bool,
+    *,
+    fused: bool = False,
+    max_staleness: int = 0,
+    num_actors: int = 1,
+):
     config = TrainingConfig(seed=0)
     config.scenario = SCENARIO
     env = CooperativeLaneChangeEnv(scenario=SCENARIO)
@@ -56,11 +62,18 @@ def _hero_run(async_actors: bool, *, fused: bool = False, max_staleness: int = 0
         fused_updates=fused,
         async_actors=async_actors,
         max_staleness=max_staleness,
+        num_actors=num_actors,
     )
     return logger, team
 
 
-def _idqn_run(async_actors: bool, *, fused: bool = False, max_staleness: int = 0):
+def _idqn_run(
+    async_actors: bool,
+    *,
+    fused: bool = False,
+    max_staleness: int = 0,
+    num_actors: int = 1,
+):
     vec_env = make_baseline_vector_env(2, scenario=SCENARIO)
     algo = make_baseline("idqn", vec_env, seed=3, batch_size=16, buffer_capacity=500)
     try:
@@ -74,10 +87,24 @@ def _idqn_run(async_actors: bool, *, fused: bool = False, max_staleness: int = 0
             fused_updates=fused,
             async_actors=async_actors,
             max_staleness=max_staleness,
+            num_actors=num_actors,
         )
     finally:
         vec_env.close()
     return logger, algo
+
+
+# The synchronous reference runs are identical for every num_actors case,
+# so compute each (method, fused) reference once per test session.
+_SYNC_CACHE: dict = {}
+
+
+def _sync_reference(method: str, fused: bool):
+    key = (method, fused)
+    if key not in _SYNC_CACHE:
+        run = _hero_run if method == "hero" else _idqn_run
+        _SYNC_CACHE[key] = run(False, fused=fused)
+    return _SYNC_CACHE[key]
 
 
 def _assert_logs_equal(log_a, log_b):
@@ -92,10 +119,11 @@ def _assert_logs_equal(log_a, log_b):
 # ----------------------------------------------------------------------
 # Lockstep bitwise equivalence
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_actors", [1, 2, 3])
 @pytest.mark.parametrize("fused", [False, True], ids=["plain", "fused"])
-def test_hero_lockstep_matches_sync_bitwise(fused):
-    log_sync, team_sync = _hero_run(False, fused=fused)
-    log_async, team_async = _hero_run(True, fused=fused)
+def test_hero_lockstep_matches_sync_bitwise(fused, num_actors):
+    log_sync, team_sync = _sync_reference("hero", fused)
+    log_async, team_async = _hero_run(True, fused=fused, num_actors=num_actors)
     _assert_logs_equal(log_sync, log_async)
     state_sync, state_async = team_sync.state_dict(), team_async.state_dict()
     assert state_sync.keys() == state_async.keys()
@@ -103,10 +131,11 @@ def test_hero_lockstep_matches_sync_bitwise(fused):
         np.testing.assert_array_equal(state_sync[key], state_async[key], err_msg=key)
 
 
+@pytest.mark.parametrize("num_actors", [1, 2, 3])
 @pytest.mark.parametrize("fused", [False, True], ids=["plain", "fused"])
-def test_idqn_lockstep_matches_sync_bitwise(fused):
-    log_sync, algo_sync = _idqn_run(False, fused=fused)
-    log_async, algo_async = _idqn_run(True, fused=fused)
+def test_idqn_lockstep_matches_sync_bitwise(fused, num_actors):
+    log_sync, algo_sync = _sync_reference("idqn", fused)
+    log_async, algo_async = _idqn_run(True, fused=fused, num_actors=num_actors)
     _assert_logs_equal(log_sync, log_async)
     for agent in algo_sync.agent_ids:
         for p_sync, p_async in zip(
@@ -185,6 +214,62 @@ def test_staleness_run_logs_bounded_versions_and_cleans_up(monkeypatch):
     for name in _CREATED_SEGMENTS:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
+
+
+def test_idqn_staleness_fanout_partitions_episodes_and_cleans_up(monkeypatch):
+    """N=3 staleness fan-out: stride-partitioned collection must still log
+    every episode exactly once, keep staleness within budget, produce a
+    per-actor series for every collecting actor, and unlink one ring per
+    actor plus the parameter server."""
+    monkeypatch.setattr(actor_learner, "ParameterServer", _RecordingServer)
+    monkeypatch.setattr(actor_learner, "ShmRingQueue", _RecordingQueue)
+    _CREATED_SEGMENTS.clear()
+    before = {proc.pid for proc in mp.active_children()}
+
+    logger, _ = _idqn_run(True, max_staleness=2, num_actors=3)
+
+    # Episodes 0..3 each logged exactly once, in order.
+    np.testing.assert_array_equal(logger.steps("idqn/episode_reward"), np.arange(4))
+    aggregate = logger.values("idqn/snapshot_staleness")
+    assert aggregate.size > 0
+    assert (aggregate >= 0).all() and (aggregate <= 2).all()
+    # With episodes=4 and num_envs=2 every actor owns at least one budget
+    # episode (universe 6, stride 3), so each must have shipped rounds.
+    per_actor = [
+        name for name in logger.names() if "snapshot_staleness/actor" in name
+    ]
+    assert sorted(per_actor) == [
+        f"idqn/snapshot_staleness/actor{k}" for k in range(3)
+    ]
+    assert sum(logger.values(name).size for name in per_actor) == aggregate.size
+
+    after = {proc.pid for proc in mp.active_children()}
+    assert after <= before, "async fan-out run leaked processes"
+    assert len(_CREATED_SEGMENTS) == 4  # parameter server + one ring per actor
+    for name in _CREATED_SEGMENTS:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_hero_staleness_fanout_keeps_full_metric_set():
+    """N=2 staleness fan-out for HERO: partitioned collection must not
+    drop episodes and every logged staleness stays within budget."""
+    logger, _ = _hero_run(True, max_staleness=2, num_actors=2)
+    assert logger.values("hero/episode_reward").size == 3
+    aggregate = logger.values("hero/snapshot_staleness")
+    assert aggregate.size > 0
+    assert (aggregate >= 0).all() and (aggregate <= 2).all()
+    per_actor = [
+        name for name in logger.names() if "snapshot_staleness/actor" in name
+    ]
+    # Which actors ship depends on scheduling, but every shipped round is
+    # attributed to a real actor and the per-actor series partition the
+    # aggregate.
+    assert per_actor, "no per-actor staleness series logged"
+    assert set(per_actor) <= {
+        f"hero/snapshot_staleness/actor{k}" for k in range(2)
+    }
+    assert sum(logger.values(name).size for name in per_actor) == aggregate.size
 
 
 # ----------------------------------------------------------------------
