@@ -17,14 +17,23 @@ high-level team + IDQN is **at least 3x** faster than the seed per-loop
 round.  At Table I's batch 1024 the update is BLAS-bound and the fused
 gain drops to ~1.8x (documented in docs/REPRODUCING.md).
 
+ISSUE 9 adds the precision axis: the same fused round built under
+``--dtype float32`` must be **at least 1.7x** faster than the float64
+build at Table I's batch 1024 (``test_float32_update_speedup``) — the
+BLAS-bound regime where halving element width pays directly — and
+``test_update_engine_cycle_f32`` records the float32 round for the CI
+perf gate next to the float64 ``test_update_engine_cycle``.
+
 ``test_update_phase_speedup`` measures and asserts the ratio; the
-``benchmark``-fixture test records the per-cycle cost of one fused update
-round that feeds the CI perf gate (``benchmarks/check_regression.py``).
+``benchmark``-fixture tests record per-cycle costs that feed the CI perf
+gate (``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
 
+import gc
 import os
+import statistics
 import time
 
 import numpy as np
@@ -46,14 +55,16 @@ from repro.nn import (
 from repro.nn.functional import log_softmax
 from repro.nn.layers import Identity, Linear
 from repro.nn.networks import LOG_STD_MAX, LOG_STD_MIN
-from repro.nn.tensor import concatenate
+from repro.nn.tensor import concatenate, default_dtype
 from repro.training.replay import OptionTransition
 
 TARGET_SPEEDUP = 3.0
+TARGET_F32_SPEEDUP = 1.7  # float32 over float64, fused round, batch 1024
 N_UPDATE_ROUNDS = int(os.environ.get("REPRO_BENCH_UPDATE_STEPS", "20"))
 HIGH_LEVEL_BATCH = 128  # experiments/common.py train_hero_method batch size
 SAC_BATCH = 256  # SACAgent default (skill training)
 IDQN_BATCH = 128  # baseline default
+TABLE1_BATCH = 1024  # Table I batch size (the BLAS-bound regime)
 
 
 # ----------------------------------------------------------------------
@@ -364,21 +375,21 @@ def _fill_team(team: HeroTeam, transitions: int = 600) -> None:
             )
 
 
-def _make_team() -> HeroTeam:
+def _make_team(batch_size: int = HIGH_LEVEL_BATCH) -> HeroTeam:
     env = CooperativeLaneChangeEnv(scenario=ScenarioConfig(episode_length=12))
-    team = HeroTeam(env, np.random.default_rng(0), batch_size=HIGH_LEVEL_BATCH)
+    team = HeroTeam(env, np.random.default_rng(0), batch_size=batch_size)
     _fill_team(team)
     return team
 
 
-def _make_sac() -> SACAgent:
+def _make_sac(batch_size: int = SAC_BATCH) -> SACAgent:
     agent = SACAgent(
         obs_dim=20,
         action_dim=2,
         rng=np.random.default_rng(1),
         action_low=np.array([0.0, -0.1]),
         action_high=np.array([0.2, 0.1]),
-        batch_size=SAC_BATCH,
+        batch_size=batch_size,
     )
     fill = np.random.default_rng(42)
     agent.buffer.push_batch(
@@ -391,9 +402,9 @@ def _make_sac() -> SACAgent:
     return agent
 
 
-def _make_idqn():
+def _make_idqn(batch_size: int = IDQN_BATCH):
     env = make_baseline_env(scenario=ScenarioConfig(episode_length=12))
-    algo = make_baseline("idqn", env, seed=0, batch_size=IDQN_BATCH)
+    algo = make_baseline("idqn", env, seed=0, batch_size=batch_size)
     fill = np.random.default_rng(7)
     for agent in algo.agent_ids:
         algo.buffers[agent].push_batch(
@@ -442,16 +453,23 @@ def _seed_round_fn():
     return one_round
 
 
-def _fused_round_fn():
-    """One fused-engine update round over identical team + skill + IDQN."""
-    team_engine = UpdateEngine(_make_team())
-    sac_engine = UpdateEngine(_make_sac())
-    idqn_engine = UpdateEngine(_make_idqn())
+def _fused_round_fn(dtype: str = "float64", batch: int | None = None):
+    """One fused-engine update round over identical team + skill + IDQN.
+
+    ``dtype`` selects the compute precision the workload is built (and
+    run) under; ``batch`` overrides every method's batch size (None keeps
+    the per-method experiment defaults).
+    """
+    with default_dtype(dtype):
+        team_engine = UpdateEngine(_make_team(batch or HIGH_LEVEL_BATCH))
+        sac_engine = UpdateEngine(_make_sac(batch or SAC_BATCH))
+        idqn_engine = UpdateEngine(_make_idqn(batch or IDQN_BATCH))
 
     def one_round():
-        team_engine.update()
-        sac_engine.update()
-        idqn_engine.update()
+        with default_dtype(dtype):
+            team_engine.update()
+            sac_engine.update()
+            idqn_engine.update()
 
     return one_round
 
@@ -465,6 +483,50 @@ def _time_rounds(fn, rounds: int) -> float:
             fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _time_rounds_paired(
+    fn_a, fn_b, rounds: int, repeats: int = 10
+) -> tuple[float, float, float]:
+    """Paired-window timing: ``(median ratio a/b, median a, median b)``.
+
+    Each window times ``fn_a`` then ``fn_b`` back to back, so the slow
+    stretches of a noisy shared host land on both sides of that window's
+    ratio and cancel; the median over windows then rejects the windows
+    where the drift shifted mid-pair.  This estimates a wall-clock *ratio*
+    far more stably than comparing two independent best-of-N minima.  GC
+    is paused around the timed blocks so collection pauses don't land
+    inside one side's window.
+    """
+    fn_a()  # warmup
+    fn_b()
+    ratios: list[float] = []
+    times_a: list[float] = []
+    times_b: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                fn_a()
+            elapsed_a = time.perf_counter() - start
+            start = time.perf_counter()
+            for _ in range(rounds):
+                fn_b()
+            elapsed_b = time.perf_counter() - start
+            ratios.append(elapsed_a / elapsed_b)
+            times_a.append(elapsed_a)
+            times_b.append(elapsed_b)
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return (
+        statistics.median(ratios),
+        statistics.median(times_a),
+        statistics.median(times_b),
+    )
 
 
 def test_update_phase_speedup():
@@ -499,9 +561,47 @@ def test_update_phase_speedup():
     )
 
 
+def test_float32_update_speedup():
+    """The ISSUE 9 acceptance check: float32 >= 1.7x over float64 at
+    Table I's batch 1024 (the BLAS-bound regime where halving element
+    width pays directly in memory bandwidth and SIMD lanes).
+
+    Same CI policy as ``test_update_phase_speedup``: report-only on
+    shared runners, hard assertion locally.
+    """
+    f64_round = _fused_round_fn("float64", batch=TABLE1_BATCH)
+    f32_round = _fused_round_fn("float32", batch=TABLE1_BATCH)
+    speedup, f64_seconds, f32_seconds = _time_rounds_paired(
+        f64_round, f32_round, N_UPDATE_ROUNDS
+    )
+    print(
+        f"\nfloat64 fused: {f64_seconds / N_UPDATE_ROUNDS * 1e3:.2f} ms/round | "
+        f"float32 fused: {f32_seconds / N_UPDATE_ROUNDS * 1e3:.2f} ms/round | "
+        f"{speedup:.2f}x (batch {TABLE1_BATCH})"
+    )
+    if os.environ.get("CI"):
+        if speedup < TARGET_F32_SPEEDUP:
+            print(
+                f"WARNING: {speedup:.2f}x below the {TARGET_F32_SPEEDUP}x "
+                "target (report-only on shared CI runners)"
+            )
+        return
+    assert speedup >= TARGET_F32_SPEEDUP, (
+        f"float32 update phase only {speedup:.2f}x over float64 "
+        f"(need >= {TARGET_F32_SPEEDUP}x at batch {TABLE1_BATCH}): "
+        f"{f32_seconds:.3f}s vs {f64_seconds:.3f}s for {N_UPDATE_ROUNDS} rounds"
+    )
+
+
 def test_update_engine_cycle(benchmark):
     """One fused update round (HERO team + skill + IDQN) for the perf gate."""
     fused_round = _fused_round_fn()
+    benchmark(fused_round)
+
+
+def test_update_engine_cycle_f32(benchmark):
+    """The same fused round built under float32, for the perf gate."""
+    fused_round = _fused_round_fn("float32")
     benchmark(fused_round)
 
 

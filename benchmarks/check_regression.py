@@ -39,9 +39,12 @@ from pathlib import Path
 # round trip + dispatch overhead), one async actor-learner round trip
 # (parameter-snapshot publish/read + transition-payload put/get through
 # the shared-memory plumbing), one 2-actor lockstep merge round through
-# the ActorFanIn rotation, and one full-slot micro-batched inference
+# the ActorFanIn rotation, one full-slot micro-batched inference
 # pass of the serving stack (32 client slots through one stacked
-# forward).  Names match pytest node names.
+# forward), and the same fused update round at --dtype float32 (guards
+# the mixed-precision speedup: a float32-only regression — e.g. a
+# silent float64 upcast — moves this gate without moving the float64
+# one).  Names match pytest node names.
 GATED_BENCHMARKS = (
     "test_env_step_throughput",
     "test_mlp_forward_backward",
@@ -49,6 +52,7 @@ GATED_BENCHMARKS = (
     "test_baseline_vector_cycle",
     "test_eval_vector_cycle",
     "test_update_engine_cycle",
+    "test_update_engine_cycle_f32",
     "test_sharded_env_step",
     "test_actor_learner_roundtrip",
     "test_actor_fanin_roundtrip",

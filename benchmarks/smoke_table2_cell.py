@@ -14,10 +14,17 @@ Table 2 testbed cell, and then guards against drift bit-for-bit:
   vectorized training over a ``ShardedVectorEnv(num_envs, W)`` and a
   single-process ``VectorEnv(num_envs)`` must log identical series.
 
+``--dtype float32`` runs the whole cell (training, evaluation and the
+drift checks) under the reduced-precision compute path: the numbers
+differ from float64 within the tolerance contract documented in
+docs/ARCHITECTURE.md (Precision), but the drift checks stay bit-for-bit
+*within* the dtype — vectorization and sharding must not change results
+at any precision.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_table2_cell.py idqn \
-        --episodes 2 --num-envs 2 --num-workers 2
+        --episodes 2 --num-envs 2 --num-workers 2 --dtype float32
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.envs import (
 )
 from repro.experiments.common import bench_scenario, train_baseline_method
 from repro.experiments.table2 import _FlattenShifted
+from repro.nn.tensor import default_dtype
 
 
 def run_cell(
@@ -127,27 +135,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--num-envs", type=int, default=2)
     parser.add_argument("--num-workers", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="compute dtype for the whole cell (training, eval, drift checks)",
+    )
     args = parser.parse_args(argv)
 
-    metrics = run_cell(
-        args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed
-    )
-    row = " ".join(f"{key}={value:.4f}" for key, value in sorted(metrics.items()))
-    print(
-        f"table2[{args.baseline}] (num_envs={args.num_envs}, "
-        f"num_workers={args.num_workers}): {row}"
-    )
-
-    check_drift(args.baseline, args.episodes, args.seed)
-    print(f"table2[{args.baseline}]: num_envs=1 vectorized == scalar (no drift)")
-    if args.num_workers > 1:
-        check_shard_drift(
+    with default_dtype(args.dtype):
+        metrics = run_cell(
             args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed
         )
+        row = " ".join(f"{key}={value:.4f}" for key, value in sorted(metrics.items()))
         print(
-            f"table2[{args.baseline}]: num_workers={args.num_workers} sharded "
-            "== single-process (no drift)"
+            f"table2[{args.baseline}] (num_envs={args.num_envs}, "
+            f"num_workers={args.num_workers}, dtype={args.dtype}): {row}"
         )
+
+        check_drift(args.baseline, args.episodes, args.seed)
+        print(
+            f"table2[{args.baseline}]: num_envs=1 vectorized == scalar "
+            f"(no drift, dtype={args.dtype})"
+        )
+        if args.num_workers > 1:
+            check_shard_drift(
+                args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed
+            )
+            print(
+                f"table2[{args.baseline}]: num_workers={args.num_workers} sharded "
+                f"== single-process (no drift, dtype={args.dtype})"
+            )
     return 0
 
 

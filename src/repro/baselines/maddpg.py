@@ -126,7 +126,7 @@ class MADDPG(MARLAlgorithm):
 
     def observe_batch(self, observations, actions, rewards, next_observations, dones):
         rewards_joint = np.broadcast_to(
-            np.asarray(rewards, dtype=np.float64)[:, None],
+            np.asarray(rewards, dtype=self.buffer.rewards.dtype)[:, None],
             (len(observations), self.num_agents),
         )
         self.buffer.push_batch(

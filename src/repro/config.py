@@ -154,6 +154,14 @@ class TrainingConfig:
     # batch on forked RNG streams and collection throughput scales with
     # the actor count.
     num_actors: int = 1
+    # Floating-point compute dtype for the whole stack ("float64" |
+    # "float32").  float64 is the default and bitwise-identical to the
+    # original implementation; float32 roughly doubles the BLAS-bound
+    # update phase and halves every payload (snapshots, rings, shm env
+    # state, checkpoints) under the tolerance contract documented in
+    # docs/ARCHITECTURE.md ("Precision").  Applied process-globally via
+    # repro.nn.set_default_dtype before networks are built.
+    dtype: str = "float64"
     epsilon_start: float = 1.0
     epsilon_end: float = 0.05
     epsilon_decay_episodes: int = 2_000

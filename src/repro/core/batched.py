@@ -46,7 +46,7 @@ import numpy as np
 from ..config import OptionBounds
 from ..envs.control import HEADING_CAP, HEADING_GAIN
 from ..envs.stepping import VectorStepper
-from ..nn import one_hot, sample_categorical
+from ..nn import get_default_dtype, one_hot, sample_categorical
 from ..training.replay import OptionTransition
 from .hero import HeroTeam
 from .opponent_model import WindowedOpponentModel
@@ -118,7 +118,7 @@ class BatchedHeroRunner:
         self._acc_reward = np.zeros((n, a))
         self._needs_new = np.ones((n, a), dtype=bool)
         self._pending_valid = np.zeros((n, a), dtype=bool)
-        self._pending_obs = np.zeros((n, a, obs_dim))
+        self._pending_obs = np.zeros((n, a, obs_dim), dtype=get_default_dtype())
         self._pending_other = np.zeros((n, a, max(self.num_opponents, 1)), np.int64)
         self._observed_other = np.zeros((n, a, max(self.num_opponents, 1)), np.int64)
         self.sync_observed_options()
@@ -252,14 +252,16 @@ class BatchedHeroRunner:
         """Batched opponent-intention representation (one actor's view)."""
         batch = len(obs_rows)
         if hl.num_opponents == 0:
-            return np.zeros((batch, 0))
+            return np.zeros((batch, 0), dtype=get_default_dtype())
         if hl.opponent_mode == "model":
             return hl.opponent_model.predict_probs_batch(obs_rows).reshape(batch, -1)
         if hl.opponent_mode == "observed":
             return one_hot(self._observed_other[rows, k], hl.num_options).reshape(
                 batch, -1
             )
-        return np.zeros((batch, hl.num_opponents * hl.num_options))
+        return np.zeros(
+            (batch, hl.num_opponents * hl.num_options), dtype=get_default_dtype()
+        )
 
     # ------------------------------------------------------------------
     # Low-level skill execution (the (N*agents, obs) forward passes)
@@ -270,7 +272,7 @@ class BatchedHeroRunner:
         n, a = self.num_envs, self.num_agents
         merge_direction = np.where(
             self._option == LANE_CHANGE,
-            np.sign(self._target_lane - self._start_lane).astype(np.float64),
+            np.sign(self._target_lane - self._start_lane).astype(get_default_dtype()),
             0.0,
         )
         obs_low = np.concatenate(

@@ -29,6 +29,7 @@ from ..nn import (
     Tensor,
     clip_grad_norm,
     entropy_from_logits,
+    get_default_dtype,
     hard_update,
     mse_loss,
     one_hot,
@@ -110,24 +111,26 @@ class HighLevelAgent:
     def _opponent_rep(self, obs: np.ndarray) -> np.ndarray:
         """Flattened inferred opponent option distribution for one state."""
         if self.num_opponents == 0:
-            return np.zeros(0)
+            return np.zeros(0, dtype=get_default_dtype())
         if self.opponent_mode == "model":
             return self.opponent_model.predict_probs(obs).reshape(-1)
         if self.opponent_mode == "observed":
             return one_hot(self._last_observed_options, self.num_options).reshape(-1)
-        return np.zeros(self.num_opponents * self.num_options)
+        return np.zeros(self.num_opponents * self.num_options, dtype=get_default_dtype())
 
     def _opponent_rep_batch(self, obs: np.ndarray) -> np.ndarray:
         """Batched opponent representation, shape (batch, n_opp * n_opt)."""
         batch = len(obs)
         if self.num_opponents == 0:
-            return np.zeros((batch, 0))
+            return np.zeros((batch, 0), dtype=get_default_dtype())
         if self.opponent_mode == "model":
             return self.opponent_model.predict_probs_batch(obs).reshape(batch, -1)
         if self.opponent_mode == "observed":
             rep = one_hot(self._last_observed_options, self.num_options).reshape(-1)
             return np.tile(rep, (batch, 1))
-        return np.zeros((batch, self.num_opponents * self.num_options))
+        return np.zeros(
+            (batch, self.num_opponents * self.num_options), dtype=get_default_dtype()
+        )
 
     # ------------------------------------------------------------------
     # Acting
@@ -140,7 +143,7 @@ class HighLevelAgent:
         epsilon: float = 0.0,
     ) -> int:
         """Pick an option given s_h and the inferred opponent options."""
-        obs = np.asarray(obs, dtype=np.float64)
+        obs = np.asarray(obs, dtype=get_default_dtype())
         actor_in = np.concatenate([obs, self._opponent_rep(obs)])[None, :]
         logits = self.actor.forward(actor_in).data[0]
         if available is not None:
@@ -186,7 +189,7 @@ class HighLevelAgent:
             batch_size, -1
         )
         if self.num_opponents == 0:
-            other_onehot = np.zeros((batch_size, 0))
+            other_onehot = np.zeros((batch_size, 0), dtype=get_default_dtype())
 
         # --- Critic: SMDP TD target with policy/option-model probabilities.
         next_other_rep = self._opponent_rep_batch(batch["next_obs"])

@@ -25,6 +25,7 @@ from ..nn import (
     SquashedGaussianPolicy,
     TwinQNetwork,
     clip_grad_norm,
+    get_default_dtype,
     hard_update,
     mse_loss,
     soft_update,
@@ -89,7 +90,7 @@ class SACAgent:
     # Interaction
     # ------------------------------------------------------------------
     def act(self, obs: np.ndarray, deterministic: bool = False) -> np.ndarray:
-        obs = np.asarray(obs, dtype=np.float64).reshape(1, -1)
+        obs = np.asarray(obs, dtype=get_default_dtype()).reshape(1, -1)
         if deterministic:
             return self.actor.deterministic(obs)[0]
         action, _ = self.actor.sample(obs, self._rng)
@@ -166,7 +167,12 @@ class SACAgent:
     def state_dict(self) -> dict[str, np.ndarray]:
         state = {f"actor.{k}": v for k, v in self.actor.state_dict().items()}
         state.update({f"critic.{k}": v for k, v in self.critic.state_dict().items()})
-        state["log_alpha"] = np.array(self._log_alpha)
+        # Serialise the temperature in the networks' compute dtype: a bare
+        # np.array() would be float64 and promote a float32 controller's
+        # whole flat checkpoint vector back to double.
+        state["log_alpha"] = np.array(
+            self._log_alpha, dtype=next(iter(state.values())).dtype
+        )
         return state
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import Adam, CategoricalPolicy, clip_grad_norm, entropy_from_logits, nll_loss
+from ..nn import (
+    Adam,
+    CategoricalPolicy,
+    clip_grad_norm,
+    entropy_from_logits,
+    get_default_dtype,
+    nll_loss,
+)
 from ..nn.functional import log_softmax
 from ..training.replay import ObservationHistoryBuffer
 
@@ -80,8 +87,8 @@ class OpponentModel:
     def predict_probs(self, obs: np.ndarray) -> np.ndarray:
         """Predicted option probabilities, shape (num_opponents, num_options)."""
         if self.num_opponents == 0:
-            return np.zeros((0, self.num_options))
-        obs = np.asarray(obs, dtype=np.float64).reshape(1, -1)
+            return np.zeros((0, self.num_options), dtype=get_default_dtype())
+        obs = np.asarray(obs, dtype=get_default_dtype()).reshape(1, -1)
         return np.stack(
             [predictor.probs_inference(obs)[0] for predictor in self.predictors]
         )
@@ -94,7 +101,7 @@ class OpponentModel:
         the critic's TD-target opponent representation.
         """
         if self.num_opponents == 0:
-            return np.zeros((len(obs), 0, self.num_options))
+            return np.zeros((len(obs), 0, self.num_options), dtype=get_default_dtype())
         return np.stack(
             [predictor.probs_inference(obs) for predictor in self.predictors], axis=1
         )
@@ -102,7 +109,7 @@ class OpponentModel:
     def predict_log_probs_batch(self, obs: np.ndarray) -> np.ndarray:
         """Batched log-probabilities (the critic-target input of Sec. III-C)."""
         if self.num_opponents == 0:
-            return np.zeros((len(obs), 0, self.num_options))
+            return np.zeros((len(obs), 0, self.num_options), dtype=get_default_dtype())
         return np.stack(
             [
                 log_softmax(predictor.forward(obs), axis=-1).data
@@ -186,7 +193,7 @@ class WindowedOpponentModel(OpponentModel):
         self.window = window
         self.base_obs_dim = obs_dim
         super().__init__(obs_dim * window, num_options, num_opponents, rng, **kwargs)
-        self._window_buffer = np.zeros((window, obs_dim))
+        self._window_buffer = np.zeros((window, obs_dim), dtype=get_default_dtype())
         self._filled = 0
 
     def reset_window(self) -> None:
@@ -212,11 +219,11 @@ class WindowedOpponentModel(OpponentModel):
     def record(self, obs: np.ndarray, other_options: np.ndarray) -> None:
         if self.num_opponents == 0:
             return
-        stacked = self._stack(np.asarray(obs, dtype=np.float64))
+        stacked = self._stack(np.asarray(obs, dtype=get_default_dtype()))
         super().record(stacked, other_options)
 
     def predict_probs(self, obs: np.ndarray) -> np.ndarray:
         """Predict from the window ending at ``obs`` (window not mutated)."""
         if self.num_opponents == 0:
-            return np.zeros((0, self.num_options))
+            return np.zeros((0, self.num_options), dtype=get_default_dtype())
         return super().predict_probs(self.current_window(np.asarray(obs)))

@@ -81,12 +81,46 @@ def _stacked_linear(x: Tensor, weight: Parameter, bias: Parameter | None) -> Ten
     return Tensor._make(data, parents, backward, "stacked_linear")
 
 
+def _rowmax_small(a: np.ndarray) -> np.ndarray:
+    """``a.max(axis=-1, keepdims=True)`` via an elementwise column chain.
+
+    numpy's axis reduction sets up a per-row inner loop, which for a small
+    trailing axis (the option count here) costs ~15x more than chaining
+    ``np.maximum`` over the columns.  Max is exactly associative, so the
+    result is bitwise-identical at any width.
+    """
+    width = a.shape[-1]
+    if width >= 8:
+        return a.max(axis=-1, keepdims=True)
+    out = a[..., 0].copy()
+    for j in range(1, width):
+        np.maximum(out, a[..., j], out=out)
+    return out[..., None]
+
+
+def _rowsum_small(a: np.ndarray, keepdims: bool = False) -> np.ndarray:
+    """``a.sum(axis=-1)`` via an elementwise column chain.
+
+    Same speedup story as :func:`_rowmax_small`.  numpy's pairwise
+    summation falls back to plain left-to-right order below 8 elements,
+    which is exactly this chain — so for a small trailing axis the bits
+    match ``a.sum(axis=-1)``; wider axes fall back to the reduction.
+    """
+    width = a.shape[-1]
+    if width >= 8:
+        return a.sum(axis=-1, keepdims=keepdims)
+    out = a[..., 0].copy()
+    for j in range(1, width):
+        out += a[..., j]
+    return out[..., None] if keepdims else out
+
+
 def _stable_softmax(logits: np.ndarray) -> np.ndarray:
     """Stable softmax over the last axis (same arithmetic as
     ``CategoricalPolicy.probs_inference``)."""
-    shifted = logits - logits.max(axis=-1, keepdims=True)
+    shifted = logits - _rowmax_small(logits)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
+    return exp / _rowsum_small(exp, keepdims=True)
 
 
 class StackedMLP:
@@ -124,6 +158,9 @@ class StackedMLP:
         self.biases: list[Parameter | None] = []
         self._ops: list[tuple[str, object]] = []
         self._linear_columns: list[list[Linear]] = []
+        # The family computes in its members' parameter dtype; every input
+        # is cast here once so no float64 literal survives on the hot path.
+        self.dtype = np.dtype(np.float64)
         for idx, child in enumerate(template):
             if isinstance(child, Linear):
                 column = [net.children[idx] for net in nets]
@@ -148,7 +185,18 @@ class StackedMLP:
                 raise ValueError(
                     f"unsupported layer {type(child).__name__} in stacked family"
                 )
+        if self.weights:
+            self.dtype = self.weights[0].data.dtype
         self._bound: list[tuple[Parameter, np.ndarray]] = []
+        self._ones_rows: dict[int, np.ndarray] = {}
+
+    def _ones_row(self, rows: int) -> np.ndarray:
+        """Cached ``(1, 1, rows)`` ones for the bias-adjoint GEMM."""
+        ones = self._ones_rows.get(rows)
+        if ones is None:
+            ones = np.ones((1, 1, rows), dtype=self.dtype)
+            self._ones_rows[rows] = ones
+        return ones
 
     @property
     def num_members(self) -> int:
@@ -208,7 +256,7 @@ class StackedMLP:
 
     def infer(self, x: np.ndarray) -> np.ndarray:
         """Gradient-free family forward on raw arrays (in-place between layers)."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         for kind, op in self._ops:
             if kind == "linear":
                 x = np.matmul(x, self.weights[op].data)
@@ -225,11 +273,12 @@ class StackedMLP:
         """Forward pass caching what :meth:`backward_cached` needs.
 
         The cache holds each linear layer's input and each activation's
-        local-derivative data; gradients computed from it are the exact
-        chain-rule expressions the tape would produce, with none of the
-        per-node closure overhead.
+        local-derivative data; gradients computed from it are the tape's
+        chain-rule expressions with none of the per-node closure overhead
+        (bias adjoints reduce through a BLAS GEMV, so they match the tape
+        to summation-order tolerance rather than bitwise).
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         cache: list[tuple] = []
         for kind, op in self._ops:
             if kind == "linear":
@@ -287,10 +336,16 @@ class StackedMLP:
                         np.matmul(x_t, grad, out=weight.grad)
                     bias = self.biases[layer]
                     if bias is not None:
+                        # The batch reduction as a BLAS GEMV (ones @ grad):
+                        # ~2x the throughput of the strided axis-1 sum and
+                        # it scales with element width.  The accumulation
+                        # order differs from the tape's pairwise sum, which
+                        # is within the fused path's tolerance contract.
+                        ones = self._ones_row(grad.shape[1])
                         if bias.grad is None:
-                            bias.grad = grad.sum(axis=1, keepdims=True)
+                            bias.grad = np.matmul(ones, grad)
                         else:
-                            np.sum(grad, axis=1, keepdims=True, out=bias.grad)
+                            np.matmul(ones, grad, out=bias.grad)
                 if entry is first and not need_input_grad:
                     return None
                 grad = grad @ np.swapaxes(weight.data, -1, -2)
@@ -383,7 +438,9 @@ class FamilyAdam:
         self._slices = [
             slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])
         ]
-        self._flat = np.empty(int(bounds[-1]))
+        # Flat buffer (and moments/scratch via *_like) in the parameter
+        # dtype: float32 families step entirely in float32.
+        self._flat = np.empty(int(bounds[-1]), dtype=self.params[0].data.dtype)
         for param, sl in zip(self.params, self._slices):
             self._flat[sl] = param.data.reshape(-1)
             param.data = self._flat[sl].reshape(param.data.shape)
@@ -453,8 +510,8 @@ class FamilyAdam:
 
     def _step_masked(self, active: np.ndarray) -> None:
         """Per-member masked step for uneven histories (early training)."""
-        bias1 = 1.0 - self.beta1 ** self._t.astype(np.float64)
-        bias2 = 1.0 - self.beta2 ** self._t.astype(np.float64)
+        bias1 = 1.0 - self.beta1 ** self._t.astype(self._flat.dtype)
+        bias2 = 1.0 - self.beta2 ** self._t.astype(self._flat.dtype)
         idx = np.flatnonzero(active)
         for param, sl in zip(self.params, self._slices):
             grad = param.grad
@@ -551,7 +608,7 @@ class HeroTeamUpdateEngine:
         options = self.num_options
         opponents = self.num_opponents
         if opponents == 0:
-            return np.zeros((num_agents, batch, 0))
+            return np.zeros((num_agents, batch, 0), dtype=obs_stack.dtype)
         if self.opponent_mode == "model":
             stacked_in = np.repeat(obs_stack, opponents, axis=0)  # (A*J, B, do)
             logits = self.opponent_family.infer(stacked_in)
@@ -569,7 +626,7 @@ class HeroTeamUpdateEngine:
                 for h in self.highs
             ]
             return np.stack(rows)
-        return np.zeros((num_agents, batch, opponents * options))
+        return np.zeros((num_agents, batch, opponents * options), dtype=obs_stack.dtype)
 
     # ------------------------------------------------------------------
     def update(self) -> dict[str, float]:
@@ -580,6 +637,7 @@ class HeroTeamUpdateEngine:
         options = self.num_options
         opponents = self.num_opponents
         batch_size = highs[0].batch_size
+        dtype = self.critic_family.dtype
 
         eligible = np.array(
             [len(h.buffer) >= max(h.batch_size // 4, 8) for h in highs]
@@ -601,24 +659,24 @@ class HeroTeamUpdateEngine:
         obs_dim = highs[0].obs_dim
         if eligible.all() and counts.min() == counts.max():
             batch_size = int(counts[0])
-            row_weight = np.full((num_agents, batch_size), 1.0 / batch_size)
-            obs = np.array([b["obs"] for b in batches], dtype=np.float64)
-            next_obs = np.array([b["next_obs"] for b in batches], dtype=np.float64)
-            rewards = np.array([b["rewards"] for b in batches], dtype=np.float64)
-            dones = np.array([b["dones"] for b in batches], dtype=np.float64)
-            steps = np.array([b["steps"] for b in batches], dtype=np.float64)
+            row_weight = np.full((num_agents, batch_size), 1.0 / batch_size, dtype=dtype)
+            obs = np.array([b["obs"] for b in batches], dtype=dtype)
+            next_obs = np.array([b["next_obs"] for b in batches], dtype=dtype)
+            rewards = np.array([b["rewards"] for b in batches], dtype=dtype)
+            dones = np.array([b["dones"] for b in batches], dtype=dtype)
+            steps = np.array([b["steps"] for b in batches], dtype=dtype)
             opts = np.array([b["options"] for b in batches], dtype=np.int64)
             others = np.array(
                 [b["other_options"] for b in batches], dtype=np.int64
             )
         else:
             batch_size = int(counts.max())
-            row_weight = np.zeros((num_agents, batch_size))
-            obs = np.zeros((num_agents, batch_size, obs_dim))
-            next_obs = np.zeros((num_agents, batch_size, obs_dim))
-            rewards = np.zeros((num_agents, batch_size))
-            dones = np.zeros((num_agents, batch_size))
-            steps = np.zeros((num_agents, batch_size))
+            row_weight = np.zeros((num_agents, batch_size), dtype=dtype)
+            obs = np.zeros((num_agents, batch_size, obs_dim), dtype=dtype)
+            next_obs = np.zeros((num_agents, batch_size, obs_dim), dtype=dtype)
+            rewards = np.zeros((num_agents, batch_size), dtype=dtype)
+            dones = np.zeros((num_agents, batch_size), dtype=dtype)
+            steps = np.zeros((num_agents, batch_size), dtype=dtype)
             opts = np.zeros((num_agents, batch_size), dtype=np.int64)
             others = np.zeros(
                 (num_agents, batch_size, max(opponents, 1)), dtype=np.int64
@@ -636,13 +694,13 @@ class HeroTeamUpdateEngine:
                 opts[k, :rows] = batch["options"]
                 others[k, :rows] = batch["other_options"]
 
-        own_onehot = one_hot(opts, options)  # (A, B, O)
+        own_onehot = one_hot(opts, options, dtype=dtype)  # (A, B, O)
         if opponents:
-            other_onehot = one_hot(others, options).reshape(
+            other_onehot = one_hot(others, options, dtype=dtype).reshape(
                 num_agents, batch_size, opponents * options
             )
         else:
-            other_onehot = np.zeros((num_agents, batch_size, 0))
+            other_onehot = np.zeros((num_agents, batch_size, 0), dtype=dtype)
 
         # --- Critic family: SMDP TD targets, one cached forward + manual VJP.
         # One family pass covers the opponent representations of both the
@@ -661,7 +719,7 @@ class HeroTeamUpdateEngine:
         discount = highs[0].gamma ** steps
         y = rewards + discount * (1.0 - dones) * next_q
 
-        member_w = eligible.astype(np.float64)
+        member_w = eligible.astype(dtype)
         critic_in = np.concatenate([obs, own_onehot, other_onehot], axis=-1)
         q_out, critic_cache = self.critic_family.forward_cached(critic_in)
         diff = q_out[..., 0] - y  # (A, B)
@@ -680,8 +738,8 @@ class HeroTeamUpdateEngine:
         # --- Actor family: expected (all-option) policy gradient, manual VJP.
         actor_in = np.concatenate([obs, other_rep], axis=-1)
         logits, actor_cache = self.actor_family.forward_cached(actor_in)  # (A,B,O)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        shifted = logits - _rowmax_small(logits)
+        log_probs = shifted - np.log(_rowsum_small(np.exp(shifted), keepdims=True))
         probs = np.exp(log_probs)
 
         # Per-option critic sweep: only the own-option one-hot block of the
@@ -705,11 +763,11 @@ class HeroTeamUpdateEngine:
             .transpose(0, 2, 1)
         )  # (A, B, O)
         if highs[0].use_baseline:
-            advantage = q_all - (probs * q_all).sum(axis=-1, keepdims=True)
+            advantage = q_all - _rowsum_small(probs * q_all, keepdims=True)
         else:
             advantage = q_all
-        expected_adv = (probs * advantage).sum(axis=-1)  # (A, B)
-        entropy_rows = -(probs * log_probs).sum(axis=-1)  # (A, B)
+        expected_adv = _rowsum_small(probs * advantage)  # (A, B)
+        entropy_rows = -_rowsum_small(probs * log_probs)  # (A, B)
         entropy = (entropy_rows * row_weight).sum(axis=-1)  # per-member means
         coef = highs[0].entropy_coef
         actor_losses = -(expected_adv * row_weight).sum(axis=-1) - entropy * coef
@@ -757,11 +815,12 @@ class HeroTeamUpdateEngine:
             for m, h, ok in zip(models, highs, agent_ok)
         ]
         counts = np.array([len(b["obs"]) if b is not None else 1 for b in hist])
+        dtype = self.opponent_family.dtype
         batch_size = int(counts.max())
         hist_dim = models[0].obs_dim
-        hist_obs = np.zeros((num_agents, batch_size, hist_dim))
+        hist_obs = np.zeros((num_agents, batch_size, hist_dim), dtype=dtype)
         hist_labels = np.zeros((num_agents, batch_size, opponents), dtype=np.int64)
-        row_weight = np.zeros((num_agents, batch_size))
+        row_weight = np.zeros((num_agents, batch_size), dtype=dtype)
         for k, batch in enumerate(hist):
             if batch is None:
                 continue
@@ -777,18 +836,18 @@ class HeroTeamUpdateEngine:
         )
         row_w = np.repeat(row_weight, opponents, axis=0)  # (A*J, B)
         logits, cache = self.opponent_family.forward_cached(stacked_in)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        shifted = logits - _rowmax_small(logits)
+        log_probs = shifted - np.log(_rowsum_small(np.exp(shifted), keepdims=True))
         probs = np.exp(log_probs)
         picked = np.take_along_axis(log_probs, labels[..., None], axis=-1)[..., 0]
         nll = -((picked * row_w).sum(axis=-1))  # (A*J,) per-member means
-        entropy_rows = -(probs * log_probs).sum(axis=-1)  # (A*J, B)
+        entropy_rows = -_rowsum_small(probs * log_probs)  # (A*J, B)
         entropy = (entropy_rows * row_w).sum(axis=-1)
         coef = models[0].entropy_coef
         # d/dlogits of [NLL - coef*H]: (p - onehot) plus the entropy Jacobian.
-        member_w = member_ok.astype(np.float64)
+        member_w = member_ok.astype(dtype)
         grad_logits = (member_w[:, None, None] * row_w[..., None]) * (
-            (probs - one_hot(labels, options))
+            (probs - one_hot(labels, options, dtype=dtype))
             + coef * (probs * (log_probs + entropy_rows[..., None]))
         )
         self.opponent_opt.bind_grads()
@@ -856,8 +915,9 @@ class SACUpdateEngine:
         soft_target = target_q - agent.alpha * next_log_prob
         y = batch["rewards"] + agent.gamma * (1.0 - batch["dones"]) * soft_target
 
+        dtype = self.critic_family.dtype
         critic_in = np.concatenate([batch["obs"], batch["actions"]], axis=-1).astype(
-            np.float64
+            dtype
         )
         batch_rows = len(critic_in)
         q_out, critic_cache = self.critic_family.forward_cached(
@@ -878,17 +938,17 @@ class SACUpdateEngine:
         # from the critic family's manual backward with frozen parameters
         # (the stop-gradient critic pass) and is chained through the tanh
         # rescale, the noise reparameterisation and the log-prob terms.
-        obs64 = np.asarray(batch["obs"], dtype=np.float64)
-        obs_width = obs64.shape[-1]
+        obs_c = np.asarray(batch["obs"], dtype=dtype)
+        obs_width = obs_c.shape[-1]
         actor = self.agent.actor
-        out, trunk_cache = self.actor_family.forward_cached(obs64[None])
+        out, trunk_cache = self.actor_family.forward_cached(obs_c[None])
         action, log_prob, parts = actor.sample_no_grad(
             batch["obs"], agent._rng, trunk_out=out[0], return_parts=True
         )
         std, noise = parts["std"], parts["noise"]
         squashed, clip_mask = parts["squashed"], parts["clip_mask"]
 
-        actor_q_in = np.concatenate([obs64, action], axis=-1)
+        actor_q_in = np.concatenate([obs_c, action], axis=-1)
         q_rows, q_cache = self.critic_family.forward_cached(
             np.broadcast_to(actor_q_in, (2,) + actor_q_in.shape)
         )
@@ -898,7 +958,7 @@ class SACUpdateEngine:
         actor_loss = float(np.mean(agent.alpha * log_prob - q_new))
 
         # dL/dq_new = -1/B routed to the member the min selected.
-        upstream = np.full(batch_rows, -1.0 / batch_rows)
+        upstream = np.full(batch_rows, -1.0 / batch_rows, dtype=dtype)
         grad_pair = np.stack([upstream * take_first, upstream * ~take_first])
         grad_q_in = self.critic_family.backward_cached(
             q_cache, grad_pair[..., None], with_params=False, need_input_grad=True
@@ -968,8 +1028,9 @@ class IDQNUpdateEngine:
             algo.buffers[a].sample(algo.batch_size, algo._rng)
             for a in algo.agent_ids
         ]
-        obs = np.array([b["obs"] for b in batches], dtype=np.float64)
-        next_obs = np.array([b["next_obs"] for b in batches], dtype=np.float64)
+        dtype = self.family.dtype
+        obs = np.array([b["obs"] for b in batches], dtype=dtype)
+        next_obs = np.array([b["next_obs"] for b in batches], dtype=dtype)
         rewards = np.array([b["rewards"] for b in batches])
         dones = np.array([b["dones"] for b in batches])
         action_idx = np.array([b["actions"] for b in batches], dtype=np.int64)
@@ -981,7 +1042,7 @@ class IDQNUpdateEngine:
                 next_q_target, next_best[..., None], axis=-1
             )[..., 0]
         else:
-            next_value = next_q_target.max(axis=-1)
+            next_value = _rowmax_small(next_q_target)[..., 0]
         y = rewards + algo.gamma * (1.0 - dones) * next_value
 
         q_rows, cache = self.family.forward_cached(obs)  # (A, B, |A|)
@@ -1063,7 +1124,8 @@ class UpdateEngine:
 # ---------------------------------------------------------------------------
 #
 # The async actor–learner stack ships whole network families as single
-# float64 vectors.  The layout below is *defined* to match FamilyAdam's
+# flat vectors in the family's compute dtype.  The layout below is
+# *defined* to match FamilyAdam's
 # flat buffer (StackedMLP.params() order: every layer's stacked weights
 # first, then every biased layer's stacked biases, members raveled
 # member-major inside each stack) so a fused learner can publish a family
@@ -1104,6 +1166,14 @@ def family_vector_size(members) -> int:
     return sum(p.data.size for p in iter_family_params(members))
 
 
+def family_dtype(members) -> np.dtype:
+    """Compute dtype of the family's flat vector (the members' parameter
+    dtype — float32 families ship float32 snapshots)."""
+    for param in iter_family_params(members):
+        return param.data.dtype
+    return np.dtype(np.float64)
+
+
 def gather_family(members, out: np.ndarray | None = None) -> np.ndarray:
     """Copy a family's parameters into one flat vector (no rebinding).
 
@@ -1113,7 +1183,7 @@ def gather_family(members, out: np.ndarray | None = None) -> np.ndarray:
     """
     size = family_vector_size(members)
     if out is None:
-        out = np.empty(size)
+        out = np.empty(size, dtype=family_dtype(members))
     elif out.size != size:
         raise ValueError(f"out has {out.size} elements, family needs {size}")
     offset = 0
@@ -1126,7 +1196,7 @@ def gather_family(members, out: np.ndarray | None = None) -> np.ndarray:
 
 def scatter_family(members, vector: np.ndarray) -> None:
     """Copy a flat vector back into a family's parameters (no rebinding)."""
-    vector = np.asarray(vector, dtype=np.float64).ravel()
+    vector = np.asarray(vector, dtype=family_dtype(members)).ravel()
     size = family_vector_size(members)
     if vector.size != size:
         raise ValueError(f"vector has {vector.size} elements, family needs {size}")
@@ -1152,7 +1222,7 @@ class BoundFamilyVector:
         self._params = list(iter_family_params(members))
         sizes = [p.data.size for p in self._params]
         bounds = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
-        self.vector = np.empty(int(bounds[-1]))
+        self.vector = np.empty(int(bounds[-1]), dtype=family_dtype(members))
         for param, start, stop in zip(self._params, bounds[:-1], bounds[1:]):
             sl = slice(int(start), int(stop))
             self.vector[sl] = param.data.reshape(-1)

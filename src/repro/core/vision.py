@@ -29,6 +29,7 @@ from ..nn import (
     Tensor,
     clip_grad_norm,
     concatenate,
+    get_default_dtype,
     hard_update,
     mse_loss,
     soft_update,
@@ -181,7 +182,7 @@ class VisionSACAgent:
 
     # ------------------------------------------------------------------
     def act(self, image: np.ndarray, vector: np.ndarray, deterministic: bool = False):
-        state = self.actor_encoder(image[None], vector[None].astype(np.float64))
+        state = self.actor_encoder(image[None], vector[None].astype(get_default_dtype()))
         if deterministic:
             return self.actor.deterministic(state.data)[0]
         action, _ = self.actor.sample(state, self._rng)

@@ -91,6 +91,7 @@ from ..core.update_engine import (
     BoundFamilyVector,
     HeroTeamUpdateEngine,
     IDQNUpdateEngine,
+    family_dtype,
     family_vector_size,
     gather_family,
 )
@@ -98,6 +99,7 @@ from ..envs.lane_change_env import CooperativeLaneChangeEnv
 from ..envs.sharded_env import EnvReplicaFactory
 from ..envs.wrappers import make_baseline_vector_env
 from ..nn.layers import Linear
+from ..nn.tensor import get_default_dtype, set_default_dtype
 from ..utils.logging_utils import MetricLogger
 from ..utils.seeding import episode_partition, episode_reset_seeds, spawn_rngs
 from .parameter_server import ParameterServer
@@ -160,7 +162,7 @@ def _make_exporter(members, flat: np.ndarray | None = None):
     size = family_vector_size(members)
     if flat is not None and flat.size == size:
         return lambda: flat
-    out = np.empty(size)
+    out = np.empty(size, dtype=family_dtype(members))
     return lambda: gather_family(members, out)
 
 
@@ -233,7 +235,7 @@ def _capture_record(events: list, agent_index: int):
             (
                 "r",
                 agent_index,
-                np.array(obs, dtype=np.float64, copy=True),
+                np.array(obs, dtype=get_default_dtype(), copy=True),
                 np.array(other_options, dtype=np.int64, copy=True),
             )
         )
@@ -259,6 +261,9 @@ def _hero_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
     """
     vec_env = None
     try:
+        # Spawned processes start at the float64 default; adopt the
+        # learner's compute dtype before building any network or env.
+        set_default_dtype(spec.get("dtype", "float64"))
         env = spec["factory"]()
         team = HeroTeam(
             env,
@@ -441,7 +446,7 @@ def train_hero_async(
         return np.stack([encode_rng_state(h._rng) for h in highs])
 
     lockstep = max_staleness == 0
-    server = ParameterServer(slots, num_rngs=len(highs))
+    server = ParameterServer(slots, num_rngs=len(highs), dtype=get_default_dtype())
     queues = [ShmRingQueue(_QUEUE_BYTES, context=_CTX) for _ in range(num_actors)]
     seed_sets = _actor_seed_sets(rng, num_envs, num_actors, lockstep)
     # Actor-major RNG forks: actor k's agent streams are children
@@ -478,6 +483,7 @@ def train_hero_async(
         ],
         "has_opponent_slot": has_opponent_slot,
         "max_staleness": max_staleness,
+        "dtype": np.dtype(get_default_dtype()).name,
     }
     # Version 0 — current weights and RNG states — must exist before the
     # actors' first read.
@@ -663,6 +669,8 @@ def _idqn_actor_main(spec: dict, server: ParameterServer, queue: ShmRingQueue):
     """
     vec_env = None
     try:
+        # Adopt the learner's compute dtype before building the replica.
+        set_default_dtype(spec.get("dtype", "float64"))
         algo = IndependentDQN(
             spec["agent_ids"],
             spec["obs_dim"],
@@ -845,7 +853,9 @@ def train_marl_async(
     export = _make_exporter(members, fused_impl.opt._flat if fused_impl else None)
 
     lockstep = max_staleness == 0
-    server = ParameterServer({"q": family_vector_size(members)}, num_rngs=1)
+    server = ParameterServer(
+        {"q": family_vector_size(members)}, num_rngs=1, dtype=family_dtype(members)
+    )
     queues = [ShmRingQueue(_QUEUE_BYTES, context=_CTX) for _ in range(num_actors)]
     actor_streams = (
         None if lockstep else spawn_rngs(seed + _ACTOR_RNG_SALT, num_actors)
@@ -864,6 +874,7 @@ def train_marl_async(
         "epsilon_schedule": epsilon_schedule,
         "max_staleness": max_staleness,
         "num_actors": num_actors,
+        "dtype": np.dtype(get_default_dtype()).name,
     }
     server.publish({"q": export()}, np.stack([encode_rng_state(algorithm._rng)]))
     processes = []

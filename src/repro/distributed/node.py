@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.tensor import get_default_dtype
 from .bus import MessageBus
 from .protocol import OptionAnnouncement
 
@@ -33,7 +34,7 @@ class AgentNode:
                 sender=self.node_id,
                 timestamp=timestamp,
                 option=int(option),
-                state=np.asarray(state, dtype=np.float64),
+                state=np.asarray(state, dtype=get_default_dtype()),
             )
         )
 

@@ -47,25 +47,29 @@ def _align(offset: int) -> int:
 class ParameterServer:
     """Versioned double-buffered flat-parameter snapshots in shared memory.
 
-    ``slots`` maps slot name -> flat vector length (float64); ``num_rngs``
+    ``slots`` maps slot name -> flat vector length; ``dtype`` is the
+    element type of every parameter slot (the families' compute dtype —
+    float32 snapshots occupy half the bytes of float64).  ``num_rngs``
     reserves uint64 sidecar space for that many PCG64 generator states
     (see :mod:`repro.distributed.protocol`).  Constructed by the learner
     (the owner and sole writer); actors receive a pickled handle that
-    re-attaches by segment name.
+    re-attaches by segment name, carrying the dtype with it.
     """
 
-    def __init__(self, slots: dict[str, int], num_rngs: int = 0):
+    def __init__(self, slots: dict[str, int], num_rngs: int = 0, dtype=np.float64):
         if not slots and num_rngs <= 0:
             raise ValueError("need at least one parameter slot or RNG slot")
         self.slot_sizes = {name: int(size) for name, size in slots.items()}
         self.num_rngs = int(num_rngs)
+        self.dtype = np.dtype(dtype)
+        itemsize = self.dtype.itemsize
         offset = _HEADER_BYTES
         self._param_offsets: dict[str, int] = {}
         for name, size in self.slot_sizes.items():
             if size < 0:
                 raise ValueError(f"slot {name!r} has negative size {size}")
             self._param_offsets[name] = offset
-            offset = _align(offset + 2 * size * 8)
+            offset = _align(offset + 2 * size * itemsize)
         self._rng_offset = offset
         offset = _align(offset + 2 * self.num_rngs * RNG_WORDS * 8)
         self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
@@ -82,10 +86,11 @@ class ParameterServer:
     def _bind_views(self) -> None:
         buf = self._shm.buf
         self._header = np.ndarray(_HEADER_SLOTS, dtype=np.int64, buffer=buf)
-        # Per-slot (2, size) float64 double buffers, indexed by version & 1.
+        # Per-slot (2, size) double buffers in the compute dtype, indexed
+        # by version & 1.
         self._params = {
             name: np.ndarray(
-                (2, size), dtype=np.float64, buffer=buf, offset=self._param_offsets[name]
+                (2, size), dtype=self.dtype, buffer=buf, offset=self._param_offsets[name]
             )
             for name, size in self.slot_sizes.items()
         }
@@ -100,6 +105,7 @@ class ParameterServer:
         return {
             "slot_sizes": self.slot_sizes,
             "num_rngs": self.num_rngs,
+            "dtype": self.dtype.name,
             "param_offsets": self._param_offsets,
             "rng_offset": self._rng_offset,
             "name": self._name,
@@ -108,6 +114,7 @@ class ParameterServer:
     def __setstate__(self, state):
         self.slot_sizes = state["slot_sizes"]
         self.num_rngs = state["num_rngs"]
+        self.dtype = np.dtype(state.get("dtype", "float64"))
         self._param_offsets = state["param_offsets"]
         self._rng_offset = state["rng_offset"]
         self._name = state["name"]
@@ -139,7 +146,7 @@ class ParameterServer:
         buf = version & 1
         self._header[_SEQ] += 1  # odd: write in flight
         for name, vector in vectors.items():
-            flat = np.asarray(vector, dtype=np.float64).ravel()
+            flat = np.asarray(vector, dtype=self.dtype).ravel()
             if flat.size != self.slot_sizes[name]:
                 raise ValueError(
                     f"slot {name!r} expects {self.slot_sizes[name]} values, "

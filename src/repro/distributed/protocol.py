@@ -56,6 +56,10 @@ class RolloutPayload:
     method-specific (the HERO capture log or the IDQN step rows) and
     ``rng_states`` carries the actor's post-collection generator states
     for the lockstep handoff (empty when staleness is allowed).
+
+    Arrays inside ``data`` keep their dtype through pickling, so the wire
+    format needs no dtype tag of its own: a float32 run's frames carry
+    float32 rows at half the float64 byte cost.
     """
 
     round_index: int

@@ -4,8 +4,10 @@
 ring over one ``multiprocessing.shared_memory`` block.  Payloads are
 pickled into length-prefixed frames, so arbitrary rollout payloads
 (transition batches, stats, RNG states, error reports) cross the process
-boundary without a pipe; the bounded capacity is the stack's backpressure
-mechanism — when the learner falls behind, :meth:`ShmRingQueue.put`
+boundary without a pipe.  Arrays keep their dtype inside the pickled
+frame, so a float32 run ships half the transition bytes of a float64 run
+with no queue-level changes; the bounded capacity is the stack's
+backpressure mechanism — when the learner falls behind, :meth:`ShmRingQueue.put`
 blocks until the consumer drains a frame, which throttles the actor
 instead of letting the queue grow without bound.
 

@@ -61,6 +61,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..config import RewardConfig, ScenarioConfig
+from ..nn.tensor import get_default_dtype, set_default_dtype
 from .geometry import Track
 from .lane_change_env import CooperativeLaneChangeEnv
 from .sensors import feature_dim
@@ -138,8 +139,18 @@ def _build_layout(
     beams: int,
     lanes: int,
     feats: int,
+    float_dtype: str = "float64",
 ) -> tuple[dict[str, tuple[tuple[int, ...], str, int]], int]:
-    """Field name -> (shape, dtype, byte offset) map plus the total size."""
+    """Field name -> (shape, dtype, byte offset) map plus the total size.
+
+    ``float_dtype`` is the compute dtype of the policy side: the bulky
+    env<->policy payload blocks (actions, rewards, observations and
+    terminal observations) are laid out in it, so ``--dtype float32``
+    halves the shared-memory traffic.  Physics-exact state mirrors
+    (``agent_d``/``agent_heading``/``lane_deviation``) and episode stats
+    stay float64 — they are documented as bitwise-equal to the scalar
+    env's internal float64 state at any compute dtype.
+    """
     n, a, w = num_envs, num_agents, num_workers
     entries: list[tuple[str, tuple[int, ...], str]] = [
         # Control plane.
@@ -149,11 +160,11 @@ def _build_layout(
         ("msg", (w, _MSG_BYTES), "uint8"),
         ("fallback", (w, _MSG_BYTES), "uint8"),
         # Inputs.
-        ("actions", (n, a, 2), "float64"),
+        ("actions", (n, a, 2), float_dtype),
         ("reset_seeds", (n,), "int64"),
         ("reset_has_seed", (n,), "uint8"),
         # Step outputs.
-        ("rewards", (n,), "float64"),
+        ("rewards", (n,), float_dtype),
         ("dones", (n,), "uint8"),
         ("step_t", (n,), "int64"),
         ("episode_stats", (n, len(_EPISODE_KEYS)), "float64"),
@@ -170,8 +181,8 @@ def _build_layout(
         "features": (n, a, feats),
     }
     for key in _OBS_KEYS:
-        entries.append((f"obs_{key}", obs_shapes[key], "float64"))
-        entries.append((f"term_{key}", obs_shapes[key], "float64"))
+        entries.append((f"obs_{key}", obs_shapes[key], float_dtype))
+        entries.append((f"term_{key}", obs_shapes[key], float_dtype))
 
     layout: dict[str, tuple[tuple[int, ...], str, int]] = {}
     offset = 0
@@ -283,13 +294,17 @@ def _shard_worker_main(
     auto_reset: bool,
     request,
     reply,
+    float_dtype: str = "float64",
 ) -> None:
     """Worker entrypoint: own envs ``[lo, hi)`` of the batch until CLOSE.
 
     Module-level (spawn-safe); every argument is pickled exactly once at
     start-up.  The command loop afterwards moves data through shared
-    memory only.
+    memory only.  ``float_dtype`` replays the parent's compute dtype in
+    this process (spawned children start at the float64 default), so the
+    shard's VectorEnv emits observations in the shm blocks' dtype.
     """
+    set_default_dtype(float_dtype)
     shm = _attach_shm(shm_name)
     views = _attach_views(shm, layout)
 
@@ -428,7 +443,9 @@ class ShardedVectorEnv(VectorStepper):
             beams=self.scenario.lidar_beams,
             lanes=self.scenario.num_lanes,
             feats=feature_dim(self.scenario.num_lanes),
+            float_dtype=np.dtype(get_default_dtype()).name,
         )
+        self.obs_dtype = np.dtype(get_default_dtype())
         self._shm = shared_memory.SharedMemory(create=True, size=total)
         self._views = _attach_views(self._shm, layout)
         self._views["cmd"][:] = 0
@@ -451,6 +468,7 @@ class ShardedVectorEnv(VectorStepper):
                         auto_reset,
                         self._request[w],
                         self._reply[w],
+                        self.obs_dtype.name,
                     ),
                     daemon=True,
                     name=f"repro-shard-{w}",
@@ -613,7 +631,10 @@ class ShardedVectorEnv(VectorStepper):
         in ``infos[i]``.
         """
         self._assert_open()
-        actions = np.asarray(actions, dtype=np.float64)
+        # Cast to the shm actions dtype (the compute dtype).  The worker
+        # upcasts to float64 before physics, which is exact, so the only
+        # rounding is the policy's own output precision.
+        actions = np.asarray(actions, dtype=self._views["actions"].dtype)
         expected = (self.num_envs, self.num_agents, 2)
         if actions.shape != expected:
             raise ValueError(f"actions must have shape {expected}, got {actions.shape}")

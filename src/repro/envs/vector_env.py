@@ -61,6 +61,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..config import RewardConfig, ScenarioConfig
+from ..nn.tensor import get_default_dtype
 from ..utils.math_utils import wrap_angle
 from .lane_change_env import CooperativeLaneChangeEnv
 from .stepping import ObsBatch, VectorStepper
@@ -108,6 +109,11 @@ class VectorEnv(VectorStepper):
             raise ValueError(f"num_envs must be >= 1, got {num_envs}")
         self.num_envs = num_envs
         self.auto_reset = auto_reset
+        # Physics runs in float64 regardless of the compute dtype (so
+        # trajectories are dtype-independent); observations and rewards are
+        # cast once here at the env->policy boundary.  See
+        # docs/ARCHITECTURE.md, "Precision".
+        self.obs_dtype = np.dtype(get_default_dtype())
 
         template = self._envs[0]
         self.scenario = template.scenario
@@ -340,7 +346,7 @@ class VectorEnv(VectorStepper):
                     np.stack([obs[agent][key] for agent in self.agents])
                     for obs in per_env
                 ]
-            )
+            ).astype(self.obs_dtype, copy=False)
             for key in keys
         }
 
@@ -362,7 +368,9 @@ class VectorEnv(VectorStepper):
         obs = self._envs[i].reset(seed=seed)
         self._sync_from_env(i)
         return {
-            key: np.stack([obs[agent][key] for agent in self.agents])
+            key: np.stack([obs[agent][key] for agent in self.agents]).astype(
+                self.obs_dtype, copy=False
+            )
             for key in obs[self.agents[0]]
         }
 
@@ -468,6 +476,9 @@ class VectorEnv(VectorStepper):
         dones = failure_any | (self._t >= cfg.episode_length)
         self.lane_ids = lane
         self.lane_deviation = deviation
+        # Stats above accumulate in float64; the returned copy is the
+        # boundary cast into the compute dtype.
+        rewards = rewards.astype(self.obs_dtype)
 
         observations = self._observe_batch()
         infos: list[dict[str, Any]] = [{"t": int(self._t[i])} for i in range(n)]
@@ -513,6 +524,7 @@ class VectorEnv(VectorStepper):
             self._sync_from_env(i)
             per_env_obs.append(obs)
             infos.append(step_info)
+        rewards = rewards.astype(self.obs_dtype, copy=False)
         return self._stack_obs(per_env_obs), rewards, dones, infos
 
     # ------------------------------------------------------------------
@@ -611,8 +623,8 @@ class VectorEnv(VectorStepper):
         track = self._envs[0].track
 
         lane = self._lane_of(self._d[:, :a])
-        lane_onehot = np.eye(cfg.num_lanes)[lane]
-        speed = self._lin[:, :a, None].copy()
+        lane_onehot = np.eye(cfg.num_lanes, dtype=self.obs_dtype)[lane]
+        speed = np.array(self._lin[:, :a, None], dtype=self.obs_dtype)
 
         # Lidar: one raycast kernel call for all (env, agent) egos; each
         # ego's own disc is masked out (the scalar scan skips `other is ego`).
@@ -631,7 +643,7 @@ class VectorEnv(VectorStepper):
             half_width=track.half_width,
             track_length=track.length,
             valid=valid,
-        ).reshape(n, a, -1)
+        ).reshape(n, a, -1).astype(self.obs_dtype, copy=False)
 
         features = self._feature_batch(lane, lane_onehot)
         return {
@@ -671,7 +683,9 @@ class VectorEnv(VectorStepper):
         fwd_other = nearest(not_self & in_other_lane, gap)
         rear_other = nearest(not_self & in_other_lane, -gap)
 
-        features = np.empty((n, a, 3 + cfg.num_lanes + 3))
+        # Allocated in the boundary dtype: every assignment below computes
+        # in float64 and rounds exactly once on store.
+        features = np.empty((n, a, 3 + cfg.num_lanes + 3), dtype=self.obs_dtype)
         features[:, :, 0] = deviation / track.lane_width
         features[:, :, 1] = self._heading[:, :a]
         features[:, :, 2] = self._lin[:, :a]

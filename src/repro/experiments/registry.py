@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..nn.tensor import default_dtype
 from . import fig7, fig8, fig10, fig11, table2
 
 
@@ -74,6 +75,7 @@ def run_experiment(
     max_staleness: int = 0,
     num_actors: int = 1,
     checkpoint_dir: str | None = None,
+    dtype: str = "float64",
 ) -> dict:
     """Run one experiment end to end and print its report.
 
@@ -94,6 +96,12 @@ def run_experiment(
     method as a serving checkpoint and reloads instead of retraining when
     the directory is already complete (table2 only — the figure harnesses
     report training curves, which a checkpoint does not carry).
+    ``dtype`` selects the floating-point compute precision for the whole
+    run ("float64" | "float32"): the default is bitwise-identical to the
+    original implementation; float32 speeds the BLAS-bound update phase
+    and halves every payload under the tolerance contract documented in
+    docs/ARCHITECTURE.md ("Precision").  Env physics stays float64 at
+    either setting.
     """
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}")
@@ -105,16 +113,19 @@ def run_experiment(
                 f"checkpoint_dir is only supported by table2, not {exp_id!r}"
             )
         extra_kwargs["checkpoint_dir"] = checkpoint_dir
-    outputs = experiment.run(
-        scale=scale,
-        seed=seed,
-        num_envs=num_envs,
-        num_workers=num_workers,
-        fused_updates=fused_updates,
-        async_actors=async_actors,
-        max_staleness=max_staleness,
-        num_actors=num_actors,
-        **extra_kwargs,
-    )
-    experiment.report(outputs)
+    # Networks, envs and worker/actor processes all inherit the default
+    # dtype at construction, so one process-global scope covers the run.
+    with default_dtype(dtype):
+        outputs = experiment.run(
+            scale=scale,
+            seed=seed,
+            num_envs=num_envs,
+            num_workers=num_workers,
+            fused_updates=fused_updates,
+            async_actors=async_actors,
+            max_staleness=max_staleness,
+            num_actors=num_actors,
+            **extra_kwargs,
+        )
+        experiment.report(outputs)
     return outputs

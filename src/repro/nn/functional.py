@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, concatenate, stack, where  # noqa: F401  (re-export)
+from .tensor import (  # noqa: F401  (re-export)
+    Tensor,
+    concatenate,
+    get_default_dtype,
+    stack,
+    where,
+)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -34,10 +40,17 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     return result
 
 
-def one_hot(indices, num_classes: int) -> np.ndarray:
-    """Plain numpy one-hot rows (not differentiable, used as input data)."""
+def one_hot(indices, num_classes: int, dtype=None) -> np.ndarray:
+    """Plain numpy one-hot rows (not differentiable, used as input data).
+
+    ``dtype`` defaults to the engine's compute dtype so the rows
+    concatenate with network inputs without promoting them.
+    """
     indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    out = np.zeros(
+        indices.shape + (num_classes,),
+        dtype=get_default_dtype() if dtype is None else dtype,
+    )
     np.put_along_axis(
         out, indices[..., None], 1.0, axis=-1
     )
@@ -88,7 +101,14 @@ def gumbel_softmax(
 
 
 def sample_categorical(logits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Sample integer actions from unnormalised ``logits`` rows."""
+    """Sample integer actions from unnormalised ``logits`` rows.
+
+    The cumulative-probability comparison always runs in float64: the RNG
+    draws are float64 and comparing them against float32 partial sums
+    would make the sampled action depend on the probability dtype, not
+    just its value.  This is an integer-output path, so the upcast cannot
+    leak into downstream compute.
+    """
     logits = np.asarray(logits, dtype=np.float64)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     probs = np.exp(shifted)

@@ -107,7 +107,10 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{param.data.shape} vs {state[name].shape}"
                 )
-            param.data = state[name].copy()
+            # Cast at the boundary: a float64 state dict (e.g. a v1
+            # checkpoint) must not silently flip a float32 network back to
+            # float64 — the parameter keeps its compute dtype.
+            param.data = np.array(state[name], dtype=param.data.dtype)
 
     def save(self, path) -> None:
         """Save parameters to an ``.npz`` archive."""

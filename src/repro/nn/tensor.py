@@ -19,17 +19,68 @@ to the parent's shape with :func:`_unbroadcast`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+# ---------------------------------------------------------------------------
+# Process-global compute dtype
+# ---------------------------------------------------------------------------
+# The engine computes in exactly one floating dtype at a time.  float64 is
+# the default (bitwise-identical to the original implementation); float32
+# roughly doubles BLAS throughput and halves every payload the distributed
+# stack moves, under the tolerance contract documented in
+# docs/ARCHITECTURE.md ("Precision").  The dtype is process-global rather
+# than per-tensor: mixing dtypes inside one tape would reintroduce the
+# silent-upcast problem this knob exists to remove.
+
+SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+_default_dtype = np.dtype(np.float64)
+
+# Kept for backward compatibility: the seed constant, not the live default.
 DEFAULT_DTYPE = np.float64
 
 ArrayLike = "Tensor | np.ndarray | float | int | list | tuple"
 
 
-def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+def get_default_dtype() -> np.dtype:
+    """The dtype every new :class:`Tensor` coerces its payload to."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-global compute dtype; returns the previous one.
+
+    Accepts anything ``np.dtype`` does (``"float32"``, ``np.float64``, a
+    dtype instance).  Only float32/float64 are supported.  Existing
+    tensors keep their dtype — switch before building networks.
+    """
+    global _default_dtype
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported dtype {resolved.name!r}; options: {supported}")
+    previous = _default_dtype
+    _default_dtype = resolved
+    return previous
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield np.dtype(dtype)
+    finally:
+        set_default_dtype(previous)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
     """Coerce ``value`` to a numpy array of the engine's default dtype."""
+    if dtype is None:
+        dtype = _default_dtype
     if isinstance(value, np.ndarray):
         if value.dtype != dtype:
             return value.astype(dtype)
@@ -86,7 +137,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; coerced to ``float64``.
+        Array-like payload; coerced to the engine's default dtype
+        (:func:`get_default_dtype`).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -625,11 +677,11 @@ def tensor(data, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_default_dtype), requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_default_dtype), requires_grad=requires_grad)
 
 
 def no_grad_copy(t: Tensor) -> Tensor:

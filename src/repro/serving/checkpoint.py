@@ -3,23 +3,31 @@
 A checkpoint is one ``.npz`` archive with exactly three entries:
 
 ====================  ======================================================
-``format_version``    int64 scalar, currently ``1``
+``format_version``    int64 scalar, currently ``2``
 ``meta``              canonical JSON packed into uint8 words via
                       :func:`repro.distributed.protocol.encode_json_meta`
-``flat_params``       one float64 vector — every network parameter of the
+``flat_params``       one float vector — every network parameter of the
                       saved controller, concatenated in ``state_dict()``
-                      iteration order
+                      iteration order, stored in the controller's compute
+                      dtype (recorded in the metadata)
 ====================  ======================================================
 
 The metadata carries everything needed to rebuild the controller without
 unpickling code: the method name (``"hero"`` or a baseline registry key),
 the scenario / reward / hyperparameter dataclasses as plain dicts, the
-method-specific ``build`` kwargs, and a ``keys`` table mapping each
-``state_dict`` entry to its shape and offset inside ``flat_params``.  The
-format is RNG-free by design — a checkpoint describes a *policy*, and the
-serving path only ever runs greedy inference (see docs/SERVING.md).
+method-specific ``build`` kwargs, the parameter ``dtype`` (format 2;
+format-1 archives predate mixed precision and are always float64), and a
+``keys`` table mapping each ``state_dict`` entry to its shape and offset
+inside ``flat_params``.  The format is RNG-free by design — a checkpoint
+describes a *policy*, and the serving path only ever runs greedy
+inference (see docs/SERVING.md).
 
-Because every parameter in the repository is float64 and the metadata
+Version compatibility: this build writes format ``2`` and reads both
+``1`` and ``2``.  A float32 controller's archive stores half the
+parameter bytes of a float64 one, and :func:`load_policy` rebuilds the
+controller under the archive's dtype regardless of the process default.
+
+Because parameters are stored in their native dtype and the metadata
 codec is canonical (sorted keys, no whitespace), a save → load → save
 round trip is byte-identical.
 """
@@ -33,8 +41,13 @@ import numpy as np
 
 from ..config import PaperHyperparameters, RewardConfig, ScenarioConfig
 from ..distributed.protocol import decode_json_meta, encode_json_meta
+from ..nn.tensor import SUPPORTED_DTYPES, default_dtype
 
-CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 2
+
+# Every format version this build can read; version 1 predates the dtype
+# field and always holds float64 parameters.
+READABLE_FORMAT_VERSIONS = (1, 2)
 
 _ARCHIVE_KEYS = ("format_version", "meta", "flat_params")
 
@@ -49,16 +62,25 @@ class CheckpointError(RuntimeError):
 
 
 def _flatten_state(state: dict) -> tuple[np.ndarray, list]:
-    """Concatenate a ``state_dict`` into one float64 vector + key table."""
+    """Concatenate a ``state_dict`` into one flat vector + key table.
+
+    The vector keeps the parameters' native dtype (all entries of one
+    controller share the compute dtype; a mixed dict promotes to the
+    widest type), so a float32 controller stores half the bytes.
+    """
+    arrays = {name: np.asarray(value) for name, value in state.items()}
+    dtype = (
+        np.result_type(*arrays.values()) if arrays else np.dtype(np.float64)
+    )
     chunks = []
     keys = []
     offset = 0
-    for name, value in state.items():
-        arr = np.asarray(value, dtype=np.float64)
+    for name, arr in arrays.items():
+        arr = arr.astype(dtype, copy=False)
         keys.append([name, list(arr.shape), offset])
         chunks.append(arr.reshape(-1))
         offset += arr.size
-    flat = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.float64)
+    flat = np.concatenate(chunks) if chunks else np.zeros(0, dtype=dtype)
     return flat, keys
 
 
@@ -137,6 +159,7 @@ def save_checkpoint(
         "rewards": dataclasses.asdict(rewards or RewardConfig()),
         "hyper": dataclasses.asdict(hyper or PaperHyperparameters()),
         "build": dict(build if build is not None else _default_build(controller)),
+        "dtype": flat.dtype.name,
         "keys": keys,
         "extra": dict(extra or {}),
     }
@@ -159,6 +182,11 @@ class Checkpoint:
     def method(self) -> str:
         return self.meta["method"]
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Parameter dtype; format-1 archives are implicitly float64."""
+        return np.dtype(self.meta.get("dtype", "float64"))
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Scatter the flat vector back into named parameter arrays."""
         return _scatter_state(self.flat_params, self.meta["keys"])
@@ -174,10 +202,10 @@ def load_checkpoint(path) -> Checkpoint:
                     f"not a policy checkpoint: missing archive keys {missing}"
                 )
             version = int(archive["format_version"])
-            if version != CHECKPOINT_FORMAT_VERSION:
+            if version not in READABLE_FORMAT_VERSIONS:
                 raise CheckpointError(
                     f"unsupported checkpoint format version {version} "
-                    f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+                    f"(this build reads versions {list(READABLE_FORMAT_VERSIONS)})"
                 )
             try:
                 meta = decode_json_meta(archive["meta"])
@@ -185,7 +213,16 @@ def load_checkpoint(path) -> Checkpoint:
                 raise CheckpointError(
                     f"corrupted checkpoint metadata: {exc}"
                 ) from exc
-            flat = np.asarray(archive["flat_params"], dtype=np.float64)
+            # Format 1 predates the dtype field: always float64.  Format 2
+            # records it; the stored bytes already are that dtype, so the
+            # asarray is a validation, not a conversion.
+            dtype = np.dtype(meta.get("dtype", "float64"))
+            if dtype not in SUPPORTED_DTYPES:
+                raise CheckpointError(
+                    f"unsupported checkpoint dtype {dtype.name!r}; "
+                    f"options: {[np.dtype(d).name for d in SUPPORTED_DTYPES]}"
+                )
+            flat = np.asarray(archive["flat_params"], dtype=dtype)
     except CheckpointError:
         raise
     except Exception as exc:
@@ -221,8 +258,10 @@ def load_policy(path) -> LoadedPolicy:
     HERO checkpoints reconstruct a :class:`~repro.core.hero.HeroTeam` over
     a fresh :class:`~repro.envs.CooperativeLaneChangeEnv`; baseline
     checkpoints go through :func:`~repro.baselines.make_baseline`.  The
-    construction-time RNG seed is irrelevant — every parameter is
-    overwritten by the archive, and serving runs greedily.
+    controller is rebuilt under the archive's parameter dtype (a float32
+    checkpoint serves in float32 even when the process default is
+    float64).  The construction-time RNG seed is irrelevant — every
+    parameter is overwritten by the archive, and serving runs greedily.
     """
     ckpt = load_checkpoint(path)
     meta = ckpt.meta
@@ -234,25 +273,26 @@ def load_policy(path) -> LoadedPolicy:
         raise CheckpointError(f"corrupted checkpoint config: {exc}") from exc
     build = dict(meta["build"])
 
-    if ckpt.method == "hero":
-        from ..core.hero import HeroTeam
-        from ..envs.lane_change_env import CooperativeLaneChangeEnv
+    with default_dtype(ckpt.dtype):
+        if ckpt.method == "hero":
+            from ..core.hero import HeroTeam
+            from ..envs.lane_change_env import CooperativeLaneChangeEnv
 
-        env = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
-        controller = HeroTeam(
-            env, np.random.default_rng(0), hyper=hyper, **build
-        )
-    else:
-        from ..baselines.registry import BASELINES, make_baseline
-        from ..envs.wrappers import make_baseline_env
-
-        if ckpt.method not in BASELINES:
-            raise CheckpointError(
-                f"unknown checkpoint method {ckpt.method!r}; "
-                f"options: ['hero'] + {sorted(BASELINES)}"
+            env = CooperativeLaneChangeEnv(scenario=scenario, rewards=rewards)
+            controller = HeroTeam(
+                env, np.random.default_rng(0), hyper=hyper, **build
             )
-        env = make_baseline_env(scenario=scenario, rewards=rewards)
-        controller = make_baseline(ckpt.method, env, seed=0, **build)
+        else:
+            from ..baselines.registry import BASELINES, make_baseline
+            from ..envs.wrappers import make_baseline_env
+
+            if ckpt.method not in BASELINES:
+                raise CheckpointError(
+                    f"unknown checkpoint method {ckpt.method!r}; "
+                    f"options: ['hero'] + {sorted(BASELINES)}"
+                )
+            env = make_baseline_env(scenario=scenario, rewards=rewards)
+            controller = make_baseline(ckpt.method, env, seed=0, **build)
 
     try:
         controller.load_state_dict(ckpt.state_dict())
@@ -273,6 +313,7 @@ def load_policy(path) -> LoadedPolicy:
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
+    "READABLE_FORMAT_VERSIONS",
     "Checkpoint",
     "CheckpointError",
     "LoadedPolicy",

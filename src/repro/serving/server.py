@@ -42,10 +42,24 @@ import numpy as np
 
 from ..core.batched import BatchedHeroRunner
 from ..core.hero import HeroTeam
+from ..nn.tensor import default_dtype
 from .batcher import MicroBatcher
 from .checkpoint import CheckpointError, LoadedPolicy, load_checkpoint
 
 _HERO_OBS_KEYS = ("lidar", "speed", "lane_onehot", "features")
+
+
+def _controller_dtype(controller) -> np.dtype:
+    """Compute dtype of a serving controller (its first parameter's dtype).
+
+    Request observations are cast to this at the session boundary, so a
+    float32 checkpoint serves float32 forwards even when clients send
+    float64 rows.  Pose mirrors (``d``/``heading``) are exempt: they are
+    exact doubles by contract at any compute dtype.
+    """
+    for value in controller.state_dict().values():
+        return np.asarray(value).dtype
+    return np.dtype(np.float64)
 
 # Per-slot execution state the serving runner gathers/scatters when a
 # flush covers only a subset of slots (greedy acting consumes no RNG, so
@@ -138,8 +152,13 @@ class HeroPolicySession:
     def __init__(self, team: HeroTeam, num_slots: int):
         self.controller = team
         self.num_slots = int(num_slots)
+        self._dtype = _controller_dtype(team)
         self._stepper = _HeroServingStepper(team.env, self.num_slots)
-        self._runner = BatchedHeroRunner(team, self._stepper)
+        # Runner scratch buffers follow the construction-time default
+        # dtype; pin it to the controller's so a float32 checkpoint
+        # serves float32 forwards under a float64 process default.
+        with default_dtype(self._dtype):
+            self._runner = BatchedHeroRunner(team, self._stepper)
         self._subsets: dict[int, tuple] = {}
 
     def reset_slot(self, i: int) -> None:
@@ -155,7 +174,7 @@ class HeroPolicySession:
         for key in _HERO_OBS_KEYS:
             try:
                 out[key] = np.stack(
-                    [np.asarray(r.obs[key], dtype=np.float64) for r in requests]
+                    [np.asarray(r.obs[key], dtype=self._dtype) for r in requests]
                 )
             except (KeyError, TypeError) as exc:
                 raise ValueError(
@@ -188,7 +207,9 @@ class HeroPolicySession:
         m = len(requests)
         if m not in self._subsets:
             stepper = _HeroServingStepper(self.controller.env, m)
-            self._subsets[m] = (stepper, BatchedHeroRunner(self.controller, stepper))
+            with default_dtype(self._dtype):
+                runner = BatchedHeroRunner(self.controller, stepper)
+            self._subsets[m] = (stepper, runner)
         stepper, runner = self._subsets[m]
         idx = np.array([r.slot for r in requests])
         for name in _RUNNER_STATE:
@@ -207,6 +228,7 @@ class MarlPolicySession:
     def __init__(self, algorithm, num_slots: int):
         self.controller = algorithm
         self.num_slots = int(num_slots)
+        self._dtype = _controller_dtype(algorithm)
 
     def reset_slot(self, i: int) -> None:
         pass  # baselines keep no per-slot execution state
@@ -216,7 +238,7 @@ class MarlPolicySession:
 
     def act(self, requests: list) -> list[np.ndarray]:
         stack = np.stack(
-            [np.asarray(r.obs, dtype=np.float64) for r in requests]
+            [np.asarray(r.obs, dtype=self._dtype) for r in requests]
         )  # (m, num_agents, obs_dim)
         actions = self.controller.act_batch(stack, explore=False)
         return [np.asarray(actions[j]).copy() for j in range(len(requests))]

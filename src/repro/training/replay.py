@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.tensor import get_default_dtype
+
 
 def _ring_append_slots(index: int, capacity: int, count: int) -> tuple[int, np.ndarray]:
     """Ring-buffer slots hit by appending ``count`` items at ``index``.
@@ -43,7 +45,10 @@ def _ring_append_transitions(buffer, obs, actions, rewards, next_obs, dones, cou
     buffer.actions[idx] = actions[drop:]
     buffer.rewards[idx] = rewards[drop:]
     buffer.next_obs[idx] = next_obs[drop:]
-    buffer.dones[idx] = np.asarray(dones[drop:], dtype=np.float64)
+    # Cast to the buffer's own storage dtype: routing float bools through
+    # float64 here would allocate a float64 temporary per append just to
+    # round it back into the (float32 by default) ring.
+    buffer.dones[idx] = np.asarray(dones[drop:], dtype=buffer.dones.dtype)
     buffer._index = (buffer._index + count) % buffer.capacity
     buffer._size = min(buffer._size + count, buffer.capacity)
 
@@ -51,10 +56,11 @@ def _ring_append_transitions(buffer, obs, actions, rewards, next_obs, dones, cou
 class ReplayBuffer:
     """Uniform ring buffer over (obs, action, reward, next_obs, done).
 
-    Storage is ``float32`` by default: transitions arrive as float64 but a
+    Storage is ``float32`` by default regardless of the compute dtype: a
     100k-capacity buffer of float64 observations is pure waste — float32
-    halves the footprint and the learners re-promote on use anyway (the
-    network weights stay float64).
+    halves the footprint, and samples are cast once at the learner
+    boundary into whatever dtype the networks compute in (see
+    docs/ARCHITECTURE.md, "Precision").
     """
 
     def __init__(
@@ -100,12 +106,15 @@ class ReplayBuffer:
         if self._size == 0:
             raise ValueError("cannot sample from an empty buffer")
         idx = rng.integers(0, self._size, size=min(batch_size, self._size))
+        # np.take hits a contiguous-gather fast path that plain fancy
+        # indexing misses (~3x on the 2-D arrays); the result is the same
+        # pure gather, bit for bit.
         return {
-            "obs": self.obs[idx],
-            "actions": self.actions[idx],
-            "rewards": self.rewards[idx],
-            "next_obs": self.next_obs[idx],
-            "dones": self.dones[idx],
+            "obs": np.take(self.obs, idx, axis=0),
+            "actions": np.take(self.actions, idx, axis=0),
+            "rewards": np.take(self.rewards, idx, axis=0),
+            "next_obs": np.take(self.next_obs, idx, axis=0),
+            "dones": np.take(self.dones, idx, axis=0),
         }
 
 
@@ -184,12 +193,17 @@ class OptionReplayBuffer:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self.obs = np.zeros((capacity, obs_dim))
+        # Float storage follows the compute dtype at construction time:
+        # float64 by default (bitwise-identical to the original), float32
+        # when the stack runs at --dtype float32 (half the footprint, no
+        # per-sample cast at the learner boundary).
+        dtype = get_default_dtype()
+        self.obs = np.zeros((capacity, obs_dim), dtype=dtype)
         self.options = np.zeros(capacity, dtype=np.int64)
         self.other_options = np.zeros((capacity, num_opponents), dtype=np.int64)
-        self.rewards = np.zeros(capacity)
-        self.next_obs = np.zeros((capacity, obs_dim))
-        self.dones = np.zeros(capacity)
+        self.rewards = np.zeros(capacity, dtype=dtype)
+        self.next_obs = np.zeros((capacity, obs_dim), dtype=dtype)
+        self.dones = np.zeros(capacity, dtype=dtype)
         self.steps = np.zeros(capacity, dtype=np.int64)
         self._index = 0
         self._size = 0
@@ -213,14 +227,16 @@ class OptionReplayBuffer:
         if self._size == 0:
             raise ValueError("cannot sample from an empty buffer")
         idx = rng.integers(0, self._size, size=min(batch_size, self._size))
+        # Same np.take fast path as ReplayBuffer.sample (bitwise-identical
+        # gather, ~3x on the 2-D arrays).
         return {
-            "obs": self.obs[idx],
-            "options": self.options[idx],
-            "other_options": self.other_options[idx],
-            "rewards": self.rewards[idx],
-            "next_obs": self.next_obs[idx],
-            "dones": self.dones[idx],
-            "steps": self.steps[idx],
+            "obs": np.take(self.obs, idx, axis=0),
+            "options": np.take(self.options, idx, axis=0),
+            "other_options": np.take(self.other_options, idx, axis=0),
+            "rewards": np.take(self.rewards, idx, axis=0),
+            "next_obs": np.take(self.next_obs, idx, axis=0),
+            "dones": np.take(self.dones, idx, axis=0),
+            "steps": np.take(self.steps, idx, axis=0),
         }
 
 
@@ -235,11 +251,13 @@ class JointReplayBuffer:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self.obs = np.zeros((capacity, num_agents, obs_dim))
+        # Same storage-follows-compute-dtype rule as OptionReplayBuffer.
+        dtype = get_default_dtype()
+        self.obs = np.zeros((capacity, num_agents, obs_dim), dtype=dtype)
         self.actions = np.zeros((capacity, num_agents), dtype=np.int64)
-        self.rewards = np.zeros((capacity, num_agents))
-        self.next_obs = np.zeros((capacity, num_agents, obs_dim))
-        self.dones = np.zeros(capacity)
+        self.rewards = np.zeros((capacity, num_agents), dtype=dtype)
+        self.next_obs = np.zeros((capacity, num_agents, obs_dim), dtype=dtype)
+        self.dones = np.zeros(capacity, dtype=dtype)
         self._index = 0
         self._size = 0
 
@@ -268,11 +286,11 @@ class JointReplayBuffer:
             raise ValueError("cannot sample from an empty buffer")
         idx = rng.integers(0, self._size, size=min(batch_size, self._size))
         return {
-            "obs": self.obs[idx],
-            "actions": self.actions[idx],
-            "rewards": self.rewards[idx],
-            "next_obs": self.next_obs[idx],
-            "dones": self.dones[idx],
+            "obs": np.take(self.obs, idx, axis=0),
+            "actions": np.take(self.actions, idx, axis=0),
+            "rewards": np.take(self.rewards, idx, axis=0),
+            "next_obs": np.take(self.next_obs, idx, axis=0),
+            "dones": np.take(self.dones, idx, axis=0),
         }
 
 
@@ -288,7 +306,7 @@ class ObservationHistoryBuffer:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self.obs = np.zeros((capacity, obs_dim))
+        self.obs = np.zeros((capacity, obs_dim), dtype=get_default_dtype())
         self.options = np.zeros((capacity, num_opponents), dtype=np.int64)
         self._index = 0
         self._size = 0
@@ -307,4 +325,7 @@ class ObservationHistoryBuffer:
         if self._size == 0:
             raise ValueError("cannot sample from an empty buffer")
         idx = rng.integers(0, self._size, size=min(batch_size, self._size))
-        return {"obs": self.obs[idx], "options": self.options[idx]}
+        return {
+            "obs": np.take(self.obs, idx, axis=0),
+            "options": np.take(self.options, idx, axis=0),
+        }
