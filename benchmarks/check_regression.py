@@ -41,10 +41,13 @@ from pathlib import Path
 # the shared-memory plumbing), one 2-actor lockstep merge round through
 # the ActorFanIn rotation, one full-slot micro-batched inference
 # pass of the serving stack (32 client slots through one stacked
-# forward), and the same fused update round at --dtype float32 (guards
+# forward), the same fused update round at --dtype float32 (guards
 # the mixed-precision speedup: a float32-only regression — e.g. a
 # silent float64 upcast — moves this gate without moving the float64
-# one).  Names match pytest node names.
+# one), and one cross-family fused update round each for MADDPG and
+# MAAC (the actor-through-critic VJP engines — guards the stacked
+# ReLU kernels and the attention-critic fast paths).  Names match
+# pytest node names.
 GATED_BENCHMARKS = (
     "test_env_step_throughput",
     "test_mlp_forward_backward",
@@ -53,6 +56,8 @@ GATED_BENCHMARKS = (
     "test_eval_vector_cycle",
     "test_update_engine_cycle",
     "test_update_engine_cycle_f32",
+    "test_update_engine_cycle_maddpg",
+    "test_update_engine_cycle_maac",
     "test_sharded_env_step",
     "test_actor_learner_roundtrip",
     "test_actor_fanin_roundtrip",

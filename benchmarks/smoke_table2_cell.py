@@ -21,6 +21,13 @@ docs/ARCHITECTURE.md (Precision), but the drift checks stay bit-for-bit
 *within* the dtype — vectorization and sharding must not change results
 at any precision.
 
+``--fused-updates`` routes the cell's gradient phases through
+``core.update_engine`` (all five methods dispatch natively, including
+the MADDPG/MAAC cross-family engines) and adds a fused-vs-plain drift
+check at the engines' per-dtype *tolerance* contract — fused gradients
+reduce in a different summation order than the per-agent tape, so this
+check is close-to, not bit-for-bit.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_table2_cell.py idqn \
@@ -49,7 +56,12 @@ from repro.nn.tensor import default_dtype
 
 
 def run_cell(
-    name: str, episodes: int, num_envs: int, num_workers: int, seed: int
+    name: str,
+    episodes: int,
+    num_envs: int,
+    num_workers: int,
+    seed: int,
+    fused_updates: bool = False,
 ) -> dict:
     """Train one baseline vectorized and evaluate its Table 2 cell."""
     scenario = bench_scenario()
@@ -62,6 +74,7 @@ def run_cell(
         seed=seed,
         num_envs=num_envs,
         num_workers=num_workers,
+        fused_updates=fused_updates,
     )
     recorded = len(trained.logger.values(f"{name}/episode_reward"))
     if recorded != episodes:
@@ -106,6 +119,43 @@ def _assert_logs_equal(name: str, what: str, log_a, log_b) -> None:
             )
 
 
+def check_fused_drift(name: str, episodes: int, seed: int, dtype: str) -> None:
+    """Fused-updates training must track the plain loop within tolerance.
+
+    The fused engines carry a *tolerance* contract, not a bitwise one
+    (batched GEMMs and the ones-GEMV bias adjoint reduce in a different
+    summation order than the per-agent tape), so the logged metric series
+    are compared at the documented per-dtype tolerances
+    (docs/ARCHITECTURE.md, Update engine) rather than bit-for-bit.
+    """
+    scenario = bench_scenario()
+    kwargs = {"batch_size": 16} if name != "coma" else {}
+
+    def train(fused: bool):
+        env = make_baseline_env(scenario=scenario)
+        algo = make_baseline(name, env, seed=seed, **kwargs)
+        return train_marl(
+            env, algo, episodes=episodes, seed=seed, fused_updates=fused
+        )
+
+    log_plain = train(False)
+    log_fused = train(True)
+    if log_plain.names() != log_fused.names():
+        raise SystemExit(
+            f"{name}: metric names drifted (fused-vs-plain): "
+            f"{sorted(set(log_plain.names()) ^ set(log_fused.names()))}"
+        )
+    rtol, atol = (1e-6, 1e-8) if dtype == "float64" else (1e-3, 1e-5)
+    for metric in log_plain.names():
+        plain = log_plain.values(metric)
+        fused = log_fused.values(metric)
+        if not np.allclose(plain, fused, rtol=rtol, atol=atol):
+            raise SystemExit(
+                f"{name}: fused-vs-plain drift in {metric} beyond "
+                f"rtol={rtol}/atol={atol} ({dtype}): {plain} != {fused}"
+            )
+
+
 def check_shard_drift(
     name: str, episodes: int, num_envs: int, num_workers: int, seed: int
 ) -> None:
@@ -141,16 +191,30 @@ def main(argv: list[str] | None = None) -> int:
         default="float64",
         help="compute dtype for the whole cell (training, eval, drift checks)",
     )
+    parser.add_argument(
+        "--fused-updates",
+        action="store_true",
+        help=(
+            "run the cell's gradient phases through core.update_engine "
+            "and add a fused-vs-plain tolerance drift check"
+        ),
+    )
     args = parser.parse_args(argv)
 
     with default_dtype(args.dtype):
         metrics = run_cell(
-            args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed
+            args.baseline,
+            args.episodes,
+            args.num_envs,
+            args.num_workers,
+            args.seed,
+            fused_updates=args.fused_updates,
         )
         row = " ".join(f"{key}={value:.4f}" for key, value in sorted(metrics.items()))
         print(
             f"table2[{args.baseline}] (num_envs={args.num_envs}, "
-            f"num_workers={args.num_workers}, dtype={args.dtype}): {row}"
+            f"num_workers={args.num_workers}, dtype={args.dtype}, "
+            f"fused_updates={args.fused_updates}): {row}"
         )
 
         check_drift(args.baseline, args.episodes, args.seed)
@@ -158,6 +222,12 @@ def main(argv: list[str] | None = None) -> int:
             f"table2[{args.baseline}]: num_envs=1 vectorized == scalar "
             f"(no drift, dtype={args.dtype})"
         )
+        if args.fused_updates:
+            check_fused_drift(args.baseline, args.episodes, args.seed, args.dtype)
+            print(
+                f"table2[{args.baseline}]: fused updates track the plain "
+                f"loop within the {args.dtype} tolerance contract"
+            )
         if args.num_workers > 1:
             check_shard_drift(
                 args.baseline, args.episodes, args.num_envs, args.num_workers, args.seed

@@ -226,9 +226,10 @@ def train_marl(
 
     ``fused_updates`` routes gradient steps through
     :class:`repro.core.update_engine.UpdateEngine` — IDQN's per-agent DQNs
-    update as one stacked family; algorithms without an
-    architecture-aligned fused path (COMA/MADDPG/MAAC) delegate to their
-    own ``update`` unchanged.
+    update as one stacked family, and MADDPG/MAAC run their actor steps
+    through the cross-family VJP against frozen stacked critics.  Only
+    COMA (whole variable-length episodes, no fixed family shape) delegates
+    to its own ``update`` unchanged.
     """
     logger = logger or MetricLogger()
     prefix = metric_prefix or algorithm.name

@@ -97,6 +97,59 @@ class AttentionCritic(Module):
             rows.append(self.head(head_in))
         return rows
 
+    def infer(self, obs: np.ndarray, actions: np.ndarray) -> list[np.ndarray]:
+        """Gradient-free :meth:`forward`, bit-identical to its ``.data``.
+
+        The TD-target path never backprops through the target critic, so
+        building tape nodes for it is pure overhead; this replays the tape
+        arithmetic expression for expression on raw arrays (the additive
+        attention-mask term is cast to the compute dtype exactly where the
+        tape's ``Tensor`` coercion casts it — ``0.0`` and ``-1e9`` are
+        exactly representable in float32, so the cast point cannot change
+        the bits), keeping the default update path unchanged bit for bit
+        at any compute dtype.
+        """
+        batch = obs.shape[0]
+        action_onehot = one_hot(actions, self.num_actions)
+        sa_in = np.concatenate([obs, action_onehot], axis=-1)
+
+        flat_obs = obs.reshape(batch * self.num_agents, -1)
+        flat_sa = sa_in.reshape(batch * self.num_agents, -1)
+        state_emb = self.obs_encoder.net.infer(flat_obs).reshape(
+            batch, self.num_agents, -1
+        )
+        sa_emb = self.sa_encoder.net.infer(flat_sa).reshape(
+            batch, self.num_agents, -1
+        )
+
+        head_outputs = []
+        for head in self.attention.heads:
+            q = state_emb @ head.query_proj.weight.data
+            k = sa_emb @ head.key_proj.weight.data
+            v = sa_emb @ head.value_proj.weight.data
+            # float(scale): head.scale is a float64 numpy scalar, which
+            # would promote float32 scores; the tape multiplies through a
+            # Tensor coercion to the compute dtype — a weak python float
+            # reproduces those bits.
+            scores = (q @ k.transpose(0, 2, 1)) * float(head.scale)
+            scores = scores + np.where(self._mask, 0.0, -1e9).astype(scores.dtype)
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            weights = exp / exp.sum(axis=-1, keepdims=True)
+            head_outputs.append(weights @ v)
+        merged = np.concatenate(head_outputs, axis=-1)
+        out_proj = self.attention.out_proj
+        attended = merged @ out_proj.weight.data + out_proj.bias.data
+
+        rows = []
+        for i in range(self.num_agents):
+            agent_id = np.tile(one_hot(np.array([i]), self.num_agents), (batch, 1))
+            head_in = np.concatenate(
+                [state_emb[:, i], attended[:, i], agent_id], axis=-1
+            )
+            rows.append(self.head.net.infer(head_in))
+        return rows
+
 
 class MAAC(MARLAlgorithm):
     """Decentralized actors + shared attention critic, soft (entropy) RL."""
@@ -225,13 +278,15 @@ class MAAC(MARLAlgorithm):
                 row_log_probs, next_actions[:, i][:, None], axis=-1
             )[:, 0]
 
-        target_rows = self.target_critic(batch["next_obs"], next_actions)
+        # No-grad kernels for the TD targets: the tape forward built nodes
+        # that were never backpropped (bitwise-identical values either way).
+        target_rows = self.target_critic.infer(batch["next_obs"], next_actions)
         critic_rows = self.critic(batch["obs"], batch["actions"])
 
         critic_loss_total = None
         for i in range(n):
             target_q = np.take_along_axis(
-                target_rows[i].data, next_actions[:, i][:, None], axis=-1
+                target_rows[i], next_actions[:, i][:, None], axis=-1
             )[:, 0]
             soft_target = target_q - self.alpha * next_log_probs[:, i]
             y = batch["rewards"][:, i] + self.gamma * (1.0 - batch["dones"]) * soft_target

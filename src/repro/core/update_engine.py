@@ -19,6 +19,18 @@ it once per **network family** instead:
   :class:`~repro.core.low_level.SACAgent` or a
   :class:`~repro.baselines.base.MARLAlgorithm` to its fused update.
 
+Centralized-critic baselines fuse through a **cross-family VJP**: the
+actor update differentiates the actor family's output *through* a frozen
+critic family — one ``backward_cached(with_params=False)`` pass over the
+critic composed with the actor family's own backward (the SAC
+frozen-critic pass, generalised to span two families).
+:class:`MADDPGUpdateEngine` chains per-agent Gumbel-softmax actions into
+the joint-observation critic family; :class:`MAACUpdateEngine` fuses the
+shared attention encoders once per batch and routes every agent's
+score-function gradient through one stacked actor pass.  With those two,
+``--fused-updates`` covers all five baseline methods; only COMA (whole
+variable-length episodes) still delegates.
+
 **Equivalence caveat** (the ``--fused-updates`` contract): fused updates are
 numerically equivalent to the per-network loop within float tolerance, not
 bitwise — batched BLAS matmuls are not row-wise bit-stable across batch
@@ -36,9 +48,10 @@ from typing import Sequence
 import numpy as np
 
 from ..nn import Parameter, Tensor, clip_grad_norm, one_hot
+from ..nn.functional import gumbel_noise
 from ..nn.layers import Identity, LeakyReLU, Linear, ReLU, Sigmoid, Tanh
 from ..nn.networks import MLP
-from ..nn.optim import clip_grad_norm_stacked
+from ..nn.optim import clip_grad_norm_flat, clip_grad_norm_stacked
 
 _TENSOR_ACTIVATIONS = {
     ReLU: lambda t, m: t.relu(),
@@ -308,6 +321,7 @@ class StackedMLP:
         grad: np.ndarray,
         with_params: bool = True,
         need_input_grad: bool = False,
+        input_grad_block: tuple[np.ndarray, int] | None = None,
     ) -> np.ndarray | None:
         """Manual VJP through the cached forward; returns the input gradient.
 
@@ -321,6 +335,12 @@ class StackedMLP:
         adjoints); pass a copy if the caller still needs it.  Unless
         ``need_input_grad`` is set, the first layer's input-gradient matmul
         is skipped (no caller consumes it) and ``None`` is returned.
+
+        ``input_grad_block=(starts, width)`` restricts the returned input
+        gradient to ``width`` contiguous columns per member, starting at
+        ``starts[k]`` for member ``k`` — the cross-family actor pass only
+        consumes each agent's own action block, so the first layer's
+        widest GEMM shrinks to the block width.
         """
         first = cache[0]
         for entry in reversed(cache):
@@ -346,8 +366,18 @@ class StackedMLP:
                             bias.grad = np.matmul(ones, grad)
                         else:
                             np.matmul(ones, grad, out=bias.grad)
-                if entry is first and not need_input_grad:
-                    return None
+                if entry is first:
+                    if not need_input_grad:
+                        return None
+                    if input_grad_block is not None:
+                        starts, width = input_grad_block
+                        rows = np.stack(
+                            [
+                                weight.data[k, s : s + width]
+                                for k, s in enumerate(starts)
+                            ]
+                        )
+                        return grad @ np.swapaxes(rows, -1, -2)
                 grad = grad @ np.swapaxes(weight.data, -1, -2)
             elif kind == "relu":
                 np.multiply(grad, entry[1], out=grad)
@@ -449,12 +479,14 @@ class FamilyAdam:
             self._grad[sl].reshape(p.data.shape)
             for p, sl in zip(self.params, self._slices)
         ]
+        self._grads_bound = False
         self._m = np.zeros_like(self._flat)
         self._v = np.zeros_like(self._flat)
         self._buf = np.empty_like(self._flat)
         self._buf2 = np.empty_like(self._flat)
 
     def zero_grad(self) -> None:
+        self._grads_bound = False
         for param in self.params:
             param.grad = None
 
@@ -464,14 +496,29 @@ class FamilyAdam:
         ``StackedMLP.backward_cached`` then writes gradients straight into
         the optimiser's vector (no allocation, no gather copy in
         :meth:`step`); stale contents are fully overwritten by the next
-        backward pass.
+        backward pass.  While the binding holds (until :meth:`zero_grad`)
+        the steady-state step skips its per-parameter gather loop.
         """
+        if self._grads_bound:
+            return
         for param, view in zip(self.params, self._grad_views):
             param.grad = view
+        self._grads_bound = True
 
     def step(self, active: np.ndarray | None = None) -> None:
         if active is None:
-            active = np.ones(self.num_members, dtype=bool)
+            # Every member active: bump all step counts and take the flat
+            # path when their histories agree (always true once no member
+            # has ever been masked out).
+            self._t += 1
+            t0 = int(self._t[0])
+            if self.num_members == 1 or int(self._t.max()) == t0 == int(
+                self._t.min()
+            ):
+                self._step_flat(t0)
+            else:
+                self._step_masked(np.ones(self.num_members, dtype=bool))
+            return
         if not active.any():
             return
         self._t[active] += 1
@@ -484,13 +531,16 @@ class FamilyAdam:
         """Steady-state step: one fused pass over the whole family buffer."""
         bias1 = 1.0 - self.beta1**t
         bias2 = 1.0 - self.beta2**t
-        for param, sl, view in zip(self.params, self._slices, self._grad_views):
-            if param.grad is view:
-                continue  # backward wrote straight into the flat buffer
-            if param.grad is None:
-                self._grad[sl] = 0.0
-                continue
-            self._grad[sl] = param.grad.reshape(-1)
+        if not self._grads_bound:
+            for param, sl, view in zip(
+                self.params, self._slices, self._grad_views
+            ):
+                if param.grad is view:
+                    continue  # backward wrote straight into the flat buffer
+                if param.grad is None:
+                    self._grad[sl] = 0.0
+                    continue
+                self._grad[sl] = param.grad.reshape(-1)
         grad, m, v = self._grad, self._m, self._v
         buf, buf2 = self._buf, self._buf2
         m *= self.beta1
@@ -1067,14 +1117,1226 @@ class IDQNUpdateEngine:
         }
 
 
+class MADDPGUpdateEngine:
+    """Fused update for :class:`~repro.baselines.maddpg.MADDPG`.
+
+    The per-agent actors (and targets) and the per-agent joint-observation
+    critics (and targets) become four :class:`StackedMLP` families.  One
+    round runs: a family TD step over all critics, then the actor step via
+    the **cross-family VJP** — the Gumbel-softmax straight-through actions
+    feed a frozen critic-family forward, ``backward_cached`` with
+    ``with_params=False`` returns dQ/d(input), the per-agent action-block
+    slice chains through the softmax Jacobian into the actor family's own
+    backward.  No agent's critic parameters depend on another agent's
+    within a round (the critic inputs use *replayed* joint actions), so
+    batching all critic steps before all actor steps reproduces the scalar
+    interleaving; replay sampling and per-agent Gumbel draws consume the
+    shared RNG in the scalar loop's order.
+    """
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        n = algorithm.num_agents
+        self.actor_family = StackedMLP([a.trunk for a in algorithm.actors])
+        self.actor_opt = FamilyAdam(
+            self.actor_family.params(), n, lr=algorithm.actor_opts[0].lr
+        )
+        self.actor_family.bind_members()
+        self.target_actor_family = StackedMLP(
+            [a.trunk for a in algorithm.target_actors]
+        )
+        self.target_actor_family.bind_members()
+        self.critic_family = StackedMLP(algorithm.critics)
+        self.critic_opt = FamilyAdam(
+            self.critic_family.params(), n, lr=algorithm.critic_opts[0].lr
+        )
+        self.critic_family.bind_members()
+        self.target_critic_family = StackedMLP(algorithm.target_critics)
+        self.target_critic_family.bind_members()
+
+        # Specialised all-ReLU kernels (see _stacked_relu_fwd/_bwd): when
+        # every family is a biased linear/ReLU stack the update runs
+        # through preallocated buffers and contiguous transposed-weight
+        # copies; anything else falls back to the generic cached path.
+        self._fast_actor = _stacked_relu_layers(self.actor_family)
+        self._fast_tactor = _stacked_relu_layers(self.target_actor_family)
+        self._fast_critic = _stacked_relu_layers(self.critic_family)
+        self._fast_tcritic = _stacked_relu_layers(self.target_critic_family)
+        self._fast = (
+            None
+            not in (
+                self._fast_actor,
+                self._fast_tactor,
+                self._fast_critic,
+                self._fast_tcritic,
+            )
+            # The collapsed frozen-critic VJP assumes a scalar Q output.
+            and self.critic_family.weights[-1].data.shape[-1] == 1
+        )
+        self._scratch_batch = -1
+        if self._fast:
+            dtype = self.critic_family.dtype
+            num_actions = algorithm.num_actions
+
+            def transposed(layers):
+                bufs = [None] * len(layers)
+                for pos in range(1, len(layers)):
+                    w = layers[pos][0].data
+                    if w.shape[-1] != 1:
+                        bufs[pos] = np.empty(
+                            (n, w.shape[-1], w.shape[-2]), dtype=dtype
+                        )
+                return bufs
+
+            self._w_t_critic = transposed(self._fast_critic)
+            self._w_t_actor = transposed(self._fast_actor)
+            hidden = self._fast_critic[0][0].data.shape[-1]
+            self._w1_block_t = np.empty((n, hidden, num_actions), dtype=dtype)
+
+    def _alloc_scratch(self, batch_size: int) -> None:
+        """Size the per-batch forward/backward buffers for the fast path."""
+        n = self.algorithm.num_agents
+        dtype = self.critic_family.dtype
+
+        joint_dim = self.critic_family.weights[0].data.shape[-2]
+        self._actor_q_in = np.empty((n, batch_size, joint_dim), dtype=dtype)
+        # Hidden-gradient buffers for the collapsed frozen-critic VJP,
+        # keyed by the layer whose *input* gradient they hold.
+        self._g_bufs = {
+            pos: np.empty(
+                (n, batch_size, self._fast_critic[pos][0].data.shape[-2]),
+                dtype=dtype,
+            )
+            for pos in range(1, len(self._fast_critic))
+        }
+        self._scratch_batch = batch_size
+
+    def _refresh_w_t(self, layers, bufs) -> None:
+        """Recopy the transposed inner weights (refreshed after each step)."""
+        for pos, buf in enumerate(bufs):
+            if buf is not None:
+                np.copyto(buf, np.swapaxes(layers[pos][0].data, -1, -2))
+
+    def update(self) -> dict[str, float] | None:
+        algo = self.algorithm
+        if len(algo.buffer) < max(algo.batch_size // 4, 8):
+            return None
+        self.actor_family.sync_members()
+        self.target_actor_family.sync_members()
+        self.critic_family.sync_members()
+        self.target_critic_family.sync_members()
+
+        batch = algo.buffer.sample(algo.batch_size, algo._rng)
+        batch_size = len(batch["dones"])
+        n = algo.num_agents
+        num_actions = algo.num_actions
+        obs_dim = algo.obs_dim
+        dtype = self.critic_family.dtype
+
+        fast = self._fast
+        if fast and self._scratch_batch != batch_size:
+            self._alloc_scratch(batch_size)
+
+        obs_stack = batch["obs"].transpose(1, 0, 2)  # (A, B, do)
+        joint_obs = batch["obs"].reshape(batch_size, -1)
+        joint_actions = one_hot(batch["actions"], num_actions, dtype=dtype).reshape(
+            batch_size, -1
+        )
+
+        # Target joint action: one target-actor family inference, hard
+        # one-hot per agent (same argmax rows as the scalar loop).
+        next_logits = self.target_actor_family.infer(
+            batch["next_obs"].transpose(1, 0, 2)
+        )
+        joint_next_actions = (
+            one_hot(next_logits.argmax(axis=-1), num_actions, dtype=dtype)
+            .transpose(1, 0, 2)
+            .reshape(batch_size, -1)
+        )
+
+        # --- Critic family: one TD step for all agents' critics ------------
+        target_in = np.concatenate(
+            [batch["next_obs"].reshape(batch_size, -1), joint_next_actions], axis=-1
+        ).astype(dtype, copy=False)
+        target_q = self.target_critic_family.infer(
+            np.broadcast_to(target_in, (n,) + target_in.shape)
+        )[..., 0]  # (A, B)
+        y = batch["rewards"].T + algo.gamma * (1.0 - batch["dones"])[None] * target_q
+
+        critic_in = np.concatenate([joint_obs, joint_actions], axis=-1).astype(
+            dtype, copy=False
+        )
+        critic_bc = np.broadcast_to(critic_in, (n,) + critic_in.shape)
+        if fast:
+            q_out, critic_acts, critic_masks = _stacked_relu_fwd(
+                critic_bc, self._fast_critic
+            )
+        else:
+            q_out, critic_cache = self.critic_family.forward_cached(critic_bc)
+        diff = q_out[..., 0] - y  # (A, B)
+        critic_losses = (diff * diff).mean(axis=1)
+        self.critic_opt.bind_grads()
+        critic_upstream = (2.0 / batch_size) * diff[..., None]
+        if fast:
+            self._refresh_w_t(self._fast_critic, self._w_t_critic)
+            _stacked_relu_bwd(
+                critic_acts,
+                critic_masks,
+                critic_upstream,
+                self._fast_critic,
+                self.critic_family._ones_row(batch_size),
+                self._w_t_critic,
+            )
+        else:
+            self.critic_family.backward_cached(critic_cache, critic_upstream)
+        clip_grad_norm_stacked(
+            [p.grad for p in self.critic_family.params()], algo.grad_clip
+        )
+        self.critic_opt.step()
+
+        # --- Actor step via the cross-family VJP ---------------------------
+        # One Gumbel draw for all agents: the generator fills C-order, so a
+        # (A, B, O) request consumes the exact uniform stream of the scalar
+        # loop's per-agent (B, O) calls in index order (the draws are
+        # parameter-independent, so pulling them ahead of the forward is
+        # stream-neutral).
+        noise = gumbel_noise((n, batch_size, num_actions), algo._rng).astype(
+            dtype, copy=False
+        )
+        if fast:
+            logits, actor_acts, actor_masks = _stacked_relu_fwd(
+                np.asarray(obs_stack, dtype=dtype), self._fast_actor
+            )  # (A, B, O)
+        else:
+            logits, actor_cache = self.actor_family.forward_cached(obs_stack)
+        inv_temp = 1.0 / algo.temperature
+        y_soft = _stable_softmax((logits + noise) * inv_temp)
+        y_hard = one_hot(y_soft.argmax(axis=-1), num_actions, dtype=dtype)
+        # Straight-through forward value, same bit pattern as gumbel_softmax.
+        hard_action = (y_hard - y_soft) + y_soft
+
+        # Each agent's critic sees the replayed joint input with only its
+        # own action block swapped for the differentiable sample.
+        if fast:
+            actor_q_in = self._actor_q_in
+            actor_q_in[...] = critic_in
+        else:
+            actor_q_in = np.repeat(critic_in[None], n, axis=0)
+        col = n * obs_dim
+        for i in range(n):
+            actor_q_in[i, :, col + i * num_actions : col + (i + 1) * num_actions] = (
+                hard_action[i]
+            )
+        # dL/dQ = -1/B; the critic parameters are stop-gradiented across
+        # forward+backward, only dQ/d(input) survives — and of that only
+        # agent i's own action block is consumed.
+        if fast:
+            # With the constant -1/B upstream the top of the frozen VJP
+            # chain collapses to a mask x weight-row product; the inner
+            # hops use the transposed copies refreshed after the critic
+            # step; the first layer's GEMM shrinks to each member's own
+            # action-block columns.
+            self._refresh_w_t(self._fast_critic, self._w_t_critic)
+            w1 = self._fast_critic[0][0].data
+            for i in range(n):
+                s = col + i * num_actions
+                self._w1_block_t[i] = w1[i, s : s + num_actions].T
+            q_actor, _, frozen_masks = _stacked_relu_fwd(
+                actor_q_in, self._fast_critic
+            )
+            actor_losses = -q_actor[..., 0].mean(axis=1)  # (A,)
+            depth = len(self._fast_critic)
+            w_last = self._fast_critic[-1][0].data
+            const = (-1.0 / batch_size) * np.swapaxes(w_last, -1, -2)  # (A,1,H)
+            g = np.multiply(frozen_masks[-1], const, out=self._g_bufs[depth - 1])
+            for pos in range(depth - 2, 0, -1):
+                w_t = self._w_t_critic[pos]
+                if w_t is None:
+                    w_t = np.swapaxes(self._fast_critic[pos][0].data, -1, -2)
+                g = np.matmul(g, w_t, out=self._g_bufs[pos])
+                g *= frozen_masks[pos - 1]
+            grad_action = g @ self._w1_block_t  # (A, B, O)
+        else:
+            q_actor, frozen_cache = self.critic_family.forward_cached(actor_q_in)
+            actor_losses = -q_actor[..., 0].mean(axis=1)  # (A,)
+            upstream = np.full((n, batch_size, 1), -1.0 / batch_size, dtype=dtype)
+            grad_action = self.critic_family.backward_cached(
+                frozen_cache,
+                upstream,
+                with_params=False,
+                need_input_grad=True,
+                input_grad_block=(
+                    [col + i * num_actions for i in range(n)],
+                    num_actions,
+                ),
+            )  # (A, B, O)
+        # Straight-through passes the gradient to the soft sample; chain the
+        # softmax Jacobian (with the 1/temperature factor) to the logits.
+        dot = _rowsum_small(grad_action * y_soft, keepdims=True)
+        grad_logits = inv_temp * y_soft * (grad_action - dot)
+        self.actor_opt.bind_grads()
+        if fast:
+            self._refresh_w_t(self._fast_actor, self._w_t_actor)
+            _stacked_relu_bwd(
+                actor_acts,
+                actor_masks,
+                grad_logits,
+                self._fast_actor,
+                self.actor_family._ones_row(batch_size),
+                self._w_t_actor,
+            )
+        else:
+            self.actor_family.backward_cached(actor_cache, grad_logits)
+        clip_grad_norm_stacked(
+            [p.grad for p in self.actor_family.params()], algo.grad_clip
+        )
+        self.actor_opt.step()
+
+        soft_update_stacked(self.target_critic_family, self.critic_family, algo.tau)
+        soft_update_stacked(self.target_actor_family, self.actor_family, algo.tau)
+
+        losses: dict[str, float] = {}
+        for i, agent in enumerate(algo.agent_ids):
+            losses[f"{agent}/critic_loss"] = float(critic_losses[i])
+            losses[f"{agent}/actor_loss"] = float(actor_losses[i])
+        return losses
+
+
+def _set_grad(param: Parameter, value: np.ndarray) -> None:
+    """Store ``value`` as ``param.grad``, reusing a bound buffer if present.
+
+    When :meth:`FamilyAdam.bind_grads` has pointed ``param.grad`` into the
+    optimiser's flat vector the value is copied in place (no gather on
+    step); otherwise a fresh contiguous array is attached.
+    """
+    if param.grad is None:
+        param.grad = np.ascontiguousarray(value)
+    else:
+        np.copyto(param.grad, value)
+
+
+def _relu_mlp_params(fam: StackedMLP, depth: int):
+    """One-member all-ReLU MLP parameters for the specialised 2-D kernels.
+
+    Returns ``[(weight, bias), ...]`` per linear layer when ``fam`` is a
+    single-member ``linear(-relu-linear)*`` family with biases throughout
+    (the MAAC critic/actor shape), else ``None`` — callers keep the
+    generic stacked path for anything else.  The Parameters are returned
+    (not raw arrays) so rebinds stay visible through ``.data``.
+    """
+    ops = fam._ops
+    if fam.num_members != 1 or len(ops) != 2 * depth - 1:
+        return None
+    for pos, (kind, op) in enumerate(ops):
+        if pos % 2 == 0:
+            if kind != "linear":
+                return None
+        elif kind != "act" or not isinstance(op, ReLU):
+            return None
+    if any(b is None for b in fam.biases):
+        return None
+    return list(zip(fam.weights, fam.biases))
+
+
+def _relu_mlp_fwd(x2d: np.ndarray, layers):
+    """Cached forward: returns ``(out, [input/activation per layer], masks)``.
+
+    ``acts[i]`` is linear layer ``i``'s input (post-ReLU, stored in place
+    like the generic cache); ``masks[i]`` the ReLU mask after layer ``i``.
+    """
+    acts = []
+    masks = []
+    last = len(layers) - 1
+    for pos, (weight, bias) in enumerate(layers):
+        acts.append(x2d)
+        x2d = x2d @ weight.data[0]
+        x2d += bias.data[0, 0]
+        if pos != last:
+            masks.append(x2d > 0)
+            np.maximum(x2d, 0.0, out=x2d)
+    return x2d, acts, masks
+
+
+def _relu_mlp_bwd(
+    acts,
+    masks,
+    grad2d: np.ndarray,
+    layers,
+    ones: np.ndarray,
+    need_input_grad: bool = False,
+) -> np.ndarray | None:
+    """VJP matching :func:`_relu_mlp_fwd`; writes into bound ``.grad`` views.
+
+    Requires :meth:`FamilyAdam.bind_grads` to have run (the engine binds
+    every update) — gradients land straight in the optimiser flat via
+    ``out=`` GEMMs, bias adjoints via the ones-GEMV (same summation-order
+    tolerance as ``StackedMLP.backward_cached``).
+    """
+    for pos in range(len(layers) - 1, -1, -1):
+        weight, bias = layers[pos]
+        x_in = acts[pos]
+        if weight.grad is not None:
+            np.matmul(x_in.T, grad2d, out=weight.grad[0])
+            np.matmul(ones, grad2d, out=bias.grad[0, 0])
+        else:
+            weight.grad = (x_in.T @ grad2d)[None]
+            bias.grad = (ones @ grad2d)[None, None]
+        if pos > 0:
+            grad2d = grad2d @ weight.data[0].T
+            grad2d *= masks[pos - 1]
+        elif need_input_grad:
+            return grad2d @ weight.data[0].T
+    return None
+
+
+def _stacked_relu_layers(fam: StackedMLP):
+    """All-ReLU stacked-MLP parameters for the batched fast kernels.
+
+    Returns ``[(weight, bias), ...]`` when every op of ``fam`` is a biased
+    linear alternating with ReLU (any member count — the MADDPG actor and
+    critic families), else ``None`` so callers keep the generic path.
+    """
+    ops = fam._ops
+    if not ops or len(ops) % 2 == 0:
+        return None
+    for pos, (kind, op) in enumerate(ops):
+        if pos % 2 == 0:
+            if kind != "linear":
+                return None
+        elif kind != "act" or not isinstance(op, ReLU):
+            return None
+    if any(b is None for b in fam.biases):
+        return None
+    return list(zip(fam.weights, fam.biases))
+
+
+def _stacked_relu_fwd(x3d: np.ndarray, layers):
+    """Cached stacked forward mirroring :func:`_relu_mlp_fwd` over members.
+
+    (Batched ``np.matmul`` is measurably slower when handed an ``out=``
+    buffer at family shapes, so the pass allocates its layer outputs.)
+    """
+    acts = []
+    masks = []
+    last = len(layers) - 1
+    for pos, (weight, bias) in enumerate(layers):
+        acts.append(x3d)
+        x3d = np.matmul(x3d, weight.data)
+        x3d += bias.data
+        if pos != last:
+            masks.append(x3d > 0)
+            np.maximum(x3d, 0.0, out=x3d)
+    return x3d, acts, masks
+
+
+def _stacked_relu_bwd(acts, masks, grad3d, layers, ones, weights_t=None) -> None:
+    """Stacked VJP mirroring :func:`_relu_mlp_bwd`; grads land in ``.grad``.
+
+    ``weights_t`` optionally supplies contiguous transposed copies of the
+    inner-layer weight stacks: at family shapes a transposed strided GEMM
+    runs ~2x slower than a contiguous one, so callers refresh the copies
+    once per step instead.  A width-1 output layer skips its GEMM entirely
+    — the input adjoint is a broadcast product with the weight row.
+    """
+    for pos in range(len(layers) - 1, -1, -1):
+        weight, bias = layers[pos]
+        x_t = np.swapaxes(acts[pos], -1, -2)
+        if weight.grad is not None:
+            np.matmul(x_t, grad3d, out=weight.grad)
+            np.matmul(ones, grad3d, out=bias.grad)
+        else:
+            weight.grad = np.matmul(x_t, grad3d)
+            bias.grad = np.matmul(ones, grad3d)
+        if pos > 0:
+            if grad3d.shape[-1] == 1:
+                grad3d = grad3d * np.swapaxes(weight.data, -1, -2)
+            else:
+                w_t = weights_t[pos] if weights_t is not None else None
+                if w_t is None:
+                    w_t = np.swapaxes(weight.data, -1, -2)
+                grad3d = grad3d @ w_t
+            grad3d *= masks[pos - 1]
+    return None
+
+
+class MAACUpdateEngine:
+    """Fused update for :class:`~repro.baselines.maac.MAAC`.
+
+    The shared attention critic decomposes into three one-member
+    :class:`StackedMLP` families (observation encoder, state-action
+    encoder, per-action head — each already batched over ``n_agents *
+    batch`` rows) plus the raw attention projections, all stepped by one
+    :class:`FamilyAdam`; the attention block's VJP is closed-form (softmax
+    Jacobian over the scores, GEMMs for the projections).  The actor is a
+    one-member family evaluated on all agents' rows at once; its
+    score-function gradient routes through the fused critic's Q rows.  TD
+    targets come from the target critic's no-grad ``infer`` kernels.  RNG
+    consumption (replay sample, per-agent next-action draws, per-agent
+    sampled actions) matches the scalar loop draw for draw.
+    """
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        critic = algorithm.critic
+        self.obs_enc = StackedMLP([critic.obs_encoder])
+        self.sa_enc = StackedMLP([critic.sa_encoder])
+        self.head = StackedMLP([critic.head])
+        self.attn_params: list[Parameter] = []
+        for head in critic.attention.heads:
+            self.attn_params += [
+                head.query_proj.weight,
+                head.key_proj.weight,
+                head.value_proj.weight,
+            ]
+        self.attn_params += [
+            critic.attention.out_proj.weight,
+            critic.attention.out_proj.bias,
+        ]
+        self.critic_params = (
+            self.obs_enc.params()
+            + self.sa_enc.params()
+            + self.head.params()
+            + self.attn_params
+        )
+        # One optimiser over encoders + attention + head: with a single
+        # member the family step is elementwise identical to the scalar
+        # loop's one Adam over critic.parameters().
+        self.critic_opt = FamilyAdam(
+            self.critic_params, 1, lr=algorithm.critic_opt.lr
+        )
+        self.obs_enc.bind_members()
+        self.sa_enc.bind_members()
+        self.head.bind_members()
+        # FamilyAdam rebound the raw attention params into its flat buffer;
+        # remember the views so _sync can re-adopt after load_state_dict.
+        self._attn_views = [(p, p.data) for p in self.attn_params]
+
+        self.actor_family = StackedMLP([algorithm.actor.trunk])
+        self.actor_opt = FamilyAdam(
+            self.actor_family.params(), 1, lr=algorithm.actor_opt.lr
+        )
+        self.actor_family.bind_members()
+
+        # The target critic gets the same fused forward (no-grad): its
+        # MLPs become one-member families too, and the Polyak pairs are
+        # cached once so the per-round soft update is a flat in-place
+        # lerp instead of a module-tree walk.
+        target = algorithm.target_critic
+        self.target_obs_enc = StackedMLP([target.obs_encoder])
+        self.target_sa_enc = StackedMLP([target.sa_encoder])
+        self.target_head = StackedMLP([target.head])
+        target_attn_params = []
+        for head in target.attention.heads:
+            target_attn_params += [
+                head.query_proj.weight,
+                head.key_proj.weight,
+                head.value_proj.weight,
+            ]
+        target_attn_params += [
+            target.attention.out_proj.weight,
+            target.attention.out_proj.bias,
+        ]
+        # Flat target-parameter buffer in the SAME order as critic_opt's
+        # flat buffer: the Polyak step becomes two whole-buffer vector ops
+        # (elementwise identical to the per-parameter lerp, so still
+        # bitwise vs ``nn.soft_update``).  The stacked target params are
+        # rebound as views first, then the member params re-adopt them.
+        self._target_params = (
+            self.target_obs_enc.params()
+            + self.target_sa_enc.params()
+            + self.target_head.params()
+            + target_attn_params
+        )
+        sizes = np.concatenate(
+            [[0], np.cumsum([p.data.size for p in self._target_params])]
+        ).astype(np.int64)
+        self._target_flat = np.empty(int(sizes[-1]), dtype=self.head.dtype)
+        for param, a, b in zip(self._target_params, sizes[:-1], sizes[1:]):
+            view = self._target_flat[int(a) : int(b)].reshape(param.data.shape)
+            view[...] = param.data
+            param.data = view
+        self.target_obs_enc.bind_members()
+        self.target_sa_enc.bind_members()
+        self.target_head.bind_members()
+        self._target_attn_views = [
+            (p, p.data) for p in target_attn_params
+        ]
+
+        n = algorithm.num_agents
+        dtype = self.head.dtype
+        self._agent_eye = np.eye(n, dtype=dtype)
+        # Additive mask bias, prebuilt in the compute dtype (the member
+        # rebuilds it from np.where every forward).
+        self._mask_bias = np.zeros(critic._mask.shape, dtype=dtype)
+        self._mask_bias[~critic._mask] = -1e9
+        # Persistent fused-projection scratch: the per-head weights are
+        # noncontiguous views into the optimiser flat, so every forward
+        # refills these column-block buffers (cheaper than concatenate,
+        # and the backward reuses them for the input-adjoint GEMMs).  One
+        # pair serves all three passes per update — each refill happens
+        # only after the previous pass (and, for the pre-step forward,
+        # its backward) has consumed the buffer.
+        heads = critic.attention.heads
+        emb_dim, key_dim = heads[0].query_proj.weight.data.shape
+        width = len(heads) * key_dim
+        self._wq_buf = np.empty((emb_dim, width), dtype=dtype)
+        self._wkv_buf = np.empty((emb_dim, 2 * width), dtype=dtype)
+        # Actor-row and head-input scratch (lazily sized to the batch);
+        # their constant agent-id blocks are written once per (re)size.
+        self._actor_pair_buf: np.ndarray | None = None
+        self._head_in_buf: np.ndarray | None = None
+        self._ones_rows: np.ndarray | None = None
+        # Specialised flat-2-D kernels for the K=1 all-ReLU families (the
+        # stock MAAC shape); ``None`` falls back to the generic stacked
+        # path for exotic member architectures.
+        self._fast_obs = _relu_mlp_params(self.obs_enc, 2)
+        self._fast_sa = _relu_mlp_params(self.sa_enc, 2)
+        self._fast_head = _relu_mlp_params(self.head, 2)
+        self._fast_tobs = _relu_mlp_params(self.target_obs_enc, 2)
+        self._fast_tsa = _relu_mlp_params(self.target_sa_enc, 2)
+        self._fast_thead = _relu_mlp_params(self.target_head, 2)
+        self._fast_actor = _relu_mlp_params(self.actor_family, 3)
+        self._fast_critic = None not in (
+            self._fast_obs,
+            self._fast_sa,
+            self._fast_head,
+            self._fast_tobs,
+            self._fast_tsa,
+            self._fast_thead,
+        )
+        if self._fast_critic:
+            # Scratch for the collapsed no-grad pass: encoder output
+            # layers folded into the q/kv projections and the head's
+            # state block, the attention out-projection into the head's
+            # attended block (see :meth:`_critic_infer_fast`).
+            obs_hidden = self._fast_obs[0][0].data.shape[-1]
+            sa_hidden = self._fast_sa[0][0].data.shape[-1]
+            head_hidden = self._fast_head[0][0].data.shape[-1]
+            self._aq_buf = np.empty((obs_hidden, width), dtype=dtype)
+            self._akv_buf = np.empty((sa_hidden, 2 * width), dtype=dtype)
+            self._ah_buf = np.empty((obs_hidden, head_hidden), dtype=dtype)
+            self._am_buf = np.empty((width, head_hidden), dtype=dtype)
+
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        self.obs_enc.sync_members()
+        self.sa_enc.sync_members()
+        self.head.sync_members()
+        for param, view in self._attn_views:
+            if param.data is not view:
+                view[...] = param.data
+                param.data = view
+        self.actor_family.sync_members()
+        self.target_obs_enc.sync_members()
+        self.target_sa_enc.sync_members()
+        self.target_head.sync_members()
+        for param, view in self._target_attn_views:
+            if param.data is not view:
+                view[...] = param.data
+                param.data = view
+
+    def _actor_rows(self, obs: np.ndarray) -> np.ndarray:
+        """All agents' actor inputs ``(1, A*B, do + A)``, agent-major.
+
+        Mirrors ``MAAC._actor_input`` for every agent in one family batch.
+        """
+        batch = obs.shape[0]
+        n = self.algorithm.num_agents
+        dtype = self.actor_family.dtype
+        rows = np.empty((n, batch, obs.shape[-1] + n), dtype=dtype)
+        rows[:, :, : obs.shape[-1]] = obs.transpose(1, 0, 2)
+        rows[:, :, obs.shape[-1] :] = self._agent_eye[:, None, :]
+        return rows.reshape(1, n * batch, -1)
+
+    def _actor_rows_pair(
+        self, next_obs: np.ndarray, obs: np.ndarray
+    ) -> np.ndarray:
+        """Next-step and replay-time actor rows stacked ``(1, 2*A*B, ·)``.
+
+        Both evaluations use the same (pre-step) actor weights, so one
+        family pass over the concatenated rows replaces two; the next-step
+        half leads so either half is a contiguous slice.  The buffer
+        persists across updates with the constant agent-id block written
+        once per (re)size.
+        """
+        batch = obs.shape[0]
+        n = self.algorithm.num_agents
+        obs_dim = obs.shape[-1]
+        buf = self._actor_pair_buf
+        if buf is None or buf.shape[1] != 2 * n * batch:
+            buf = np.empty(
+                (1, 2 * n * batch, obs_dim + n), dtype=self.actor_family.dtype
+            )
+            halves = buf.reshape(2, n, batch, obs_dim + n)
+            halves[..., obs_dim:] = self._agent_eye[None, :, None, :]
+            self._actor_pair_buf = buf
+        halves = buf.reshape(2, n, batch, obs_dim + n)
+        halves[0, :, :, :obs_dim] = next_obs.transpose(1, 0, 2)
+        halves[1, :, :, :obs_dim] = obs.transpose(1, 0, 2)
+        return buf
+
+    def _critic_infer_fast(
+        self,
+        critic,
+        obs_2d: np.ndarray,
+        sa_in_2d: np.ndarray | None,
+        actions: np.ndarray,
+        batch: int,
+        n: int,
+        target: bool,
+    ) -> np.ndarray:
+        """Collapsed no-grad critic forward for the all-ReLU fast layout.
+
+        Values only, so every post-hidden linear map folds right-to-left
+        into its consumer: the encoder output layers into the fused q/kv
+        projections and the head's state block, the attention
+        out-projection into the head's attended block, and the constant
+        agent-id rows plus the whole bias chain into one per-agent row
+        add.  Two hidden-layer GEMMs and four folded GEMMs replace the
+        eight module GEMMs of the layered pass (associativity-level
+        reordering, within the fused tolerance contract).
+        """
+        (w1o, b1o), (w2o, b2o) = self._fast_tobs if target else self._fast_obs
+        (w1s, b1s), (w2s, b2s) = self._fast_tsa if target else self._fast_sa
+        (w1h, b1h), (w2h, b2h) = (
+            self._fast_thead if target else self._fast_head
+        )
+        heads = critic.attention.heads
+        out_proj = critic.attention.out_proj
+        num_heads = len(heads)
+        wq, wkv = self._wq_buf, self._wkv_buf
+        key_dim = wq.shape[1] // num_heads
+        width = num_heads * key_dim
+        for idx, hd in enumerate(heads):
+            block = slice(idx * key_dim, (idx + 1) * key_dim)
+            wq[:, block] = hd.query_proj.weight.data
+            wkv[:, block] = hd.key_proj.weight.data
+            wkv[:, width + idx * key_dim : width + (idx + 1) * key_dim] = (
+                hd.value_proj.weight.data
+            )
+        obs_h = obs_2d @ w1o.data[0]
+        obs_h += b1o.data[0, 0]
+        np.maximum(obs_h, 0.0, out=obs_h)
+        if sa_in_2d is not None:
+            sa_h = sa_in_2d @ w1s.data[0]
+        else:
+            # sa rows are ``[obs | one_hot(action)]``: the one-hot block
+            # contributes exactly one row of the weight's action slab, so
+            # gather it instead of building the concatenated input (the
+            # split 27-term dot + add is tolerance-level vs the 36-term
+            # BLAS dot).
+            w1s_full = w1s.data[0]
+            obs_dim = obs_2d.shape[1]
+            sa_h = obs_2d @ w1s_full[:obs_dim]
+            act_rows = np.asarray(actions, dtype=np.int64).reshape(batch * n)
+            sa_h += w1s_full[obs_dim:].take(act_rows, axis=0)
+        sa_h += b1s.data[0, 0]
+        np.maximum(sa_h, 0.0, out=sa_h)
+        np.matmul(w2o.data[0], wq, out=self._aq_buf)
+        np.matmul(w2s.data[0], wkv, out=self._akv_buf)
+        q2 = obs_h @ self._aq_buf
+        q2 += b2o.data[0, 0] @ wq
+        kv2 = sa_h @ self._akv_buf
+        kv2 += b2s.data[0, 0] @ wkv
+        q = q2.reshape(batch, n, num_heads, key_dim).transpose(2, 0, 1, 3)
+        kv = kv2.reshape(batch, n, 2, num_heads, key_dim)
+        k = kv[:, :, 0].transpose(2, 0, 1, 3)
+        v = kv[:, :, 1].transpose(2, 0, 1, 3)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * float(heads[0].scale)
+        scores += self._mask_bias
+        weights = _stable_softmax(scores)
+        merged = (weights @ v).transpose(1, 2, 0, 3).reshape(batch * n, -1)
+        emb = w2o.data[0].shape[1]
+        w1 = w1h.data[0]
+        w1a = w1[:emb]  # state-block rows
+        w1b = w1[emb : 2 * emb]  # attended-block rows
+        np.matmul(w2o.data[0], w1a, out=self._ah_buf)
+        np.matmul(out_proj.weight.data, w1b, out=self._am_buf)
+        hh = obs_h @ self._ah_buf
+        hh += merged @ self._am_buf
+        # (A, hidden): agent-id rows + every bias folded through its map.
+        const = (
+            w1[2 * emb :]
+            + b2o.data[0, 0] @ w1a
+            + out_proj.bias.data @ w1b
+            + b1h.data[0, 0]
+        )
+        hh3 = hh.reshape(batch, n, -1)
+        hh3 += const
+        np.maximum(hh, 0.0, out=hh)
+        rows = hh @ w2h.data[0]
+        rows += b2h.data[0, 0]
+        return rows.reshape(batch, n, -1)
+
+    def _critic_forward(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        target: bool = False,
+        need_grad: bool = True,
+        inputs: tuple[np.ndarray, np.ndarray] | None = None,
+    ):
+        """Fused attention-critic forward: ``(B, A, |A|)`` Q rows + cache.
+
+        One pass over the shared encoders for all agents' rows, the
+        attention block in raw numpy with every head folded into one 4-D
+        matmul pipeline (fused QKV projections, one masked softmax over
+        ``(H, B, A, A)`` scores), and one head-family pass over the
+        ``A*B`` (state, attended, agent-id) rows — the per-agent *and*
+        per-head loops of ``AttentionCritic.forward`` disappear.  The
+        projections run as 2-D GEMMs on the flat ``(B*A, ·)`` row blocks
+        (a 3-D matmul against a 2-D weight dispatches ``B`` tiny GEMMs).
+        With ``target`` the pass runs no-grad on the target critic's
+        families; ``need_grad=False`` runs the *main* critic no-grad (the
+        post-step actor pass consumes values only).  Both return a
+        ``None`` cache.
+        """
+        critic = (
+            self.algorithm.target_critic if target else self.algorithm.critic
+        )
+        n = critic.num_agents
+        batch = obs.shape[0]
+        dtype = self.head.dtype
+        no_grad = target or not need_grad
+        fast = self._fast_critic
+        if inputs is not None:
+            # The pre- and post-step passes over the same replay batch
+            # share their assembled inputs (the weights differ, not the
+            # rows).
+            obs, sa_in = inputs
+            sa_in_2d = sa_in.reshape(batch * n, -1)
+        else:
+            obs = np.asarray(obs, dtype=dtype)
+            if no_grad and fast:
+                # The collapsed pass gathers the one-hot action block as
+                # rows of the sa encoder's first weight — no one-hot or
+                # concatenated input to build.
+                sa_in_2d = None
+            else:
+                action_onehot = one_hot(
+                    actions, critic.num_actions, dtype=dtype
+                )
+                sa_in = np.concatenate([obs, action_onehot], axis=-1)
+                sa_in_2d = sa_in.reshape(batch * n, -1)
+        obs_2d = obs.reshape(batch * n, -1)
+        if no_grad and fast:
+            return (
+                self._critic_infer_fast(
+                    critic, obs_2d, sa_in_2d, actions, batch, n, target
+                ),
+                None,
+            )
+        obs_cache = sa_cache = None
+        if no_grad:
+            obs_fam = self.target_obs_enc if target else self.obs_enc
+            sa_fam = self.target_sa_enc if target else self.sa_enc
+            state_2d = obs_fam.infer(obs.reshape(1, batch * n, -1)).reshape(
+                batch * n, -1
+            )
+            sa_2d = sa_fam.infer(sa_in.reshape(1, batch * n, -1)).reshape(
+                batch * n, -1
+            )
+        elif fast:
+            state_2d, obs_acts, obs_masks = _relu_mlp_fwd(obs_2d, self._fast_obs)
+            sa_2d, sa_acts, sa_masks = _relu_mlp_fwd(sa_in_2d, self._fast_sa)
+            obs_cache = (obs_acts, obs_masks)
+            sa_cache = (sa_acts, sa_masks)
+        else:
+            state_flat, obs_cache = self.obs_enc.forward_cached(
+                obs.reshape(1, batch * n, -1)
+            )
+            sa_flat, sa_cache = self.sa_enc.forward_cached(
+                sa_in.reshape(1, batch * n, -1)
+            )
+            state_2d = state_flat.reshape(batch * n, -1)
+            sa_2d = sa_flat.reshape(batch * n, -1)
+        state_emb = state_2d.reshape(batch, n, -1)
+        sa_emb = sa_2d.reshape(batch, n, -1)
+
+        heads = critic.attention.heads
+        num_heads = len(heads)
+        # Fused projections: one GEMM for all heads' queries, one for all
+        # keys AND values (head-major column blocks ``[k_0|..|v_0|..]``
+        # in the persistent scratch — refilled per pass, the weights live
+        # as noncontiguous views in the optimiser flat).
+        wq, wkv = self._wq_buf, self._wkv_buf
+        key_dim = wq.shape[1] // num_heads
+        width = num_heads * key_dim
+        for idx, hd in enumerate(heads):
+            block = slice(idx * key_dim, (idx + 1) * key_dim)
+            wq[:, block] = hd.query_proj.weight.data
+            wkv[:, block] = hd.key_proj.weight.data
+            wkv[:, width + idx * key_dim : width + (idx + 1) * key_dim] = (
+                hd.value_proj.weight.data
+            )
+        q = (state_2d @ wq).reshape(batch, n, num_heads, key_dim)
+        q = q.transpose(2, 0, 1, 3)  # (H, B, A, kd)
+        # (B*A, 2*H*kd) viewed as (B, A, {k,v}, H, kd): both halves stay
+        # views of the single GEMM output.
+        kv = (sa_2d @ wkv).reshape(batch, n, 2, num_heads, key_dim)
+        k = kv[:, :, 0].transpose(2, 0, 1, 3)
+        v = kv[:, :, 1].transpose(2, 0, 1, 3)
+        # float(scale): the raw numpy float64 scalar would promote float32
+        # scores out of the family dtype.  All heads share the scale.
+        scores = (q @ k.transpose(0, 1, 3, 2)) * float(heads[0].scale)
+        scores += self._mask_bias  # (1, A, A) broadcasts over (H, B, ·, ·)
+        weights = _stable_softmax(scores)  # (H, B, A, A)
+        # Head-major flatten reproduces the per-head concat layout.
+        merged = (weights @ v).transpose(1, 2, 0, 3).reshape(batch * n, -1)
+        out_proj = critic.attention.out_proj
+        attended = merged @ out_proj.weight.data
+        attended += out_proj.bias.data
+
+        h = state_emb.shape[-1]
+        head_in = self._head_in_buf
+        if head_in is None or head_in.shape[0] != batch:
+            head_in = np.empty((batch, n, 2 * h + n), dtype=dtype)
+            head_in[..., 2 * h :] = self._agent_eye[None]
+            self._head_in_buf = head_in
+        head_in[..., :h] = state_emb
+        head_in[..., h : 2 * h] = attended.reshape(batch, n, -1)
+        if no_grad:
+            head_fam = self.target_head if target else self.head
+            rows_flat = head_fam.infer(head_in.reshape(1, batch * n, -1))
+            return rows_flat.reshape(batch, n, -1), None
+        if fast:
+            rows_2d, head_acts, head_masks = _relu_mlp_fwd(
+                head_in.reshape(batch * n, -1), self._fast_head
+            )
+            rows = rows_2d.reshape(batch, n, -1)
+            head_cache = (head_acts, head_masks)
+        else:
+            rows_flat, head_cache = self.head.forward_cached(
+                head_in.reshape(1, batch * n, -1)
+            )
+            rows = rows_flat.reshape(batch, n, -1)
+        cache = {
+            "batch": batch,
+            "h": h,
+            "fast": fast,
+            "obs_cache": obs_cache,
+            "sa_cache": sa_cache,
+            "head_cache": head_cache,
+            "qkv": (q, k, v, weights),
+            "wqkv": (wq, wkv),
+            "merged": merged,
+            "state_emb": state_emb,
+            "sa_emb": sa_emb,
+        }
+        return rows, cache
+
+    def _critic_backward(self, cache: dict, grad_rows: np.ndarray) -> None:
+        """Closed-form VJP through :meth:`_critic_forward`.
+
+        ``grad_rows`` is ``(B, A, |A|)``; parameter gradients land in
+        ``Parameter.grad`` (fresh arrays — :class:`FamilyAdam` gathers them
+        on step).  The state embedding feeds both the head input and the
+        attention queries, so its adjoint sums both paths; the mask bias is
+        an additive constant and drops out of the softmax VJP.  Like the
+        forward, every attention head backpropagates in one 4-D batch.
+        """
+        critic = self.algorithm.critic
+        n = critic.num_agents
+        batch, h = cache["batch"], cache["h"]
+        fast = cache["fast"]
+        ones = self._ones_rows
+        if ones is None or ones.shape[0] != batch * n:
+            ones = np.ones(batch * n, dtype=grad_rows.dtype)
+            self._ones_rows = ones
+        if fast:
+            head_acts, head_masks = cache["head_cache"]
+            grad_head_in = _relu_mlp_bwd(
+                head_acts,
+                head_masks,
+                grad_rows.reshape(batch * n, -1),
+                self._fast_head,
+                ones,
+                need_input_grad=True,
+            ).reshape(batch, n, -1)
+        else:
+            grad_head_in = self.head.backward_cached(
+                cache["head_cache"],
+                grad_rows.reshape(1, batch * n, -1),
+                need_input_grad=True,
+            ).reshape(batch, n, -1)
+        grad_state = np.ascontiguousarray(grad_head_in[..., :h])
+        grad_attended = grad_head_in[..., h : 2 * h]  # agent-id block: constant
+
+        out_proj = critic.attention.out_proj
+        flat_merged = cache["merged"]  # already (B*A, H*kd)
+        flat_gatt = np.ascontiguousarray(grad_attended).reshape(batch * n, -1)
+        if out_proj.weight.grad is not None:
+            # Bound flat-buffer views: GEMM straight into them, and the
+            # bias batch-reduction as a BLAS GEMV (ones @ grad — same
+            # summation-order tolerance note as StackedMLP's bias adjoint).
+            np.matmul(flat_merged.T, flat_gatt, out=out_proj.weight.grad)
+            np.matmul(ones, flat_gatt, out=out_proj.bias.grad)
+        else:
+            out_proj.weight.grad = flat_merged.T @ flat_gatt
+            out_proj.bias.grad = flat_gatt.sum(axis=0)
+        grad_merged = flat_gatt @ out_proj.weight.data.T  # (B*A, H*kd)
+
+        q, k, v, weights = cache["qkv"]
+        wq, wkv = cache["wqkv"]
+        heads = critic.attention.heads
+        num_heads = len(heads)
+        key_dim = q.shape[-1]
+        g_out = (
+            grad_merged.reshape(batch, n, num_heads, key_dim).transpose(2, 0, 1, 3)
+        )  # (H, B, A, kd)
+        g_weights = g_out @ v.transpose(0, 1, 3, 2)  # (H, B, A, A)
+        g_v = weights.transpose(0, 1, 3, 2) @ g_out
+        # Softmax VJP over the scores, then the shared scale factor.
+        dot = _rowsum_small(g_weights * weights, keepdims=True)
+        g_scores = weights * (g_weights - dot)
+        g_scores *= float(heads[0].scale)
+        g_q = g_scores @ k  # (H, B, A, kd)
+        g_k = g_scores.transpose(0, 1, 3, 2) @ q
+
+        state_emb, sa_emb = cache["state_emb"], cache["sa_emb"]
+        flat_state = state_emb.reshape(batch * n, -1)
+        flat_sa = sa_emb.reshape(batch * n, -1)
+        # Head-major flatten matches the fused projection column blocks;
+        # the key and value adjoints share one ``(B*A, 2*H*kd)`` block so
+        # their weight-grad and input-adjoint GEMMs fuse too (both hit
+        # ``sa_emb``).
+        width = num_heads * key_dim
+        g_q_flat = g_q.transpose(1, 2, 0, 3).reshape(batch * n, -1)
+        g_kv_flat = np.empty((batch * n, 2 * width), dtype=g_q_flat.dtype)
+        g_kv_flat[:, :width] = g_k.transpose(1, 2, 0, 3).reshape(batch * n, -1)
+        g_kv_flat[:, width:] = g_v.transpose(1, 2, 0, 3).reshape(batch * n, -1)
+        wq_grad = flat_state.T @ g_q_flat  # (h, H*kd)
+        wkv_grad = flat_sa.T @ g_kv_flat  # (h, 2*H*kd): [key | value] blocks
+        for idx, head in enumerate(heads):
+            block = slice(idx * key_dim, (idx + 1) * key_dim)
+            _set_grad(head.query_proj.weight, wq_grad[:, block])
+            _set_grad(head.key_proj.weight, wkv_grad[:, block])
+            _set_grad(
+                head.value_proj.weight,
+                wkv_grad[:, width + idx * key_dim : width + (idx + 1) * key_dim],
+            )
+        # The fused weights sum the per-head input adjoints in one GEMM.
+        grad_state += (g_q_flat @ wq.T).reshape(batch, n, -1)
+        grad_sa = (g_kv_flat @ wkv.T).reshape(batch, n, -1)
+        if fast:
+            obs_acts, obs_masks = cache["obs_cache"]
+            _relu_mlp_bwd(
+                obs_acts,
+                obs_masks,
+                grad_state.reshape(batch * n, -1),
+                self._fast_obs,
+                ones,
+            )
+            sa_acts, sa_masks = cache["sa_cache"]
+            _relu_mlp_bwd(
+                sa_acts,
+                sa_masks,
+                grad_sa.reshape(batch * n, -1),
+                self._fast_sa,
+                ones,
+            )
+        else:
+            self.obs_enc.backward_cached(
+                cache["obs_cache"], grad_state.reshape(1, batch * n, -1)
+            )
+            self.sa_enc.backward_cached(
+                cache["sa_cache"], grad_sa.reshape(1, batch * n, -1)
+            )
+
+    def _sample_rows(
+        self, logits_all: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Agent-major categorical draws ``(A, B)`` from ``(A, B, |A|)`` logits.
+
+        Matches ``nn.sample_categorical`` row for row: the float64
+        softmax/cumsum batches over every agent at once (the per-row
+        arithmetic is identical), and one ``(A, B, 1)`` uniform call
+        consumes the RNG stream draw for draw — ``Generator.uniform``
+        fills C-order, so it yields bitwise the same doubles as the
+        scalar path's per-agent ``(B, 1)`` calls.
+
+        Returns ``(actions, log_probs, probs)`` — the sampler already pays
+        for the stable softmax, so callers reuse its float64 log-probs and
+        probabilities instead of recomputing the same max/exp/sum chain.
+        In float64 (the default dtype) these are bitwise the values the
+        scalar path's ``log_softmax`` produces; float32 members cast them
+        back down at the point of use (tolerance-level, like the rest of
+        the fused contract).
+        """
+        logits64 = np.asarray(logits_all, dtype=np.float64)
+        shifted = logits64 - logits64.max(axis=-1, keepdims=True)
+        probs = np.exp(shifted)
+        total = probs.sum(axis=-1, keepdims=True)
+        probs /= total
+        cumulative = probs.cumsum(axis=-1)
+        draws = rng.uniform(size=logits_all.shape[:2] + (1,))
+        out = (draws < cumulative).argmax(axis=-1)
+        return out, shifted - np.log(total), probs
+
+    # ------------------------------------------------------------------
+    def update(self) -> dict[str, float] | None:
+        algo = self.algorithm
+        if len(algo.buffer) < max(algo.batch_size // 4, 8):
+            return None
+        self._sync()
+        batch = algo.buffer.sample(algo.batch_size, algo._rng)
+        batch_size = len(batch["dones"])
+        n = algo.num_agents
+        num_actions = algo.num_actions
+        dtype = self.head.dtype
+        # One index vector serves every chosen-action gather/scatter as
+        # flat fancy indexing (``take_along_axis`` re-derives its index
+        # grid per call).
+        flat_idx = np.arange(batch_size * n)
+
+        # --- One actor family pass over next-step AND replay-time rows
+        # (both use the pre-step actor weights); the cache's replay-time
+        # half feeds the policy-gradient backward later.  The categorical
+        # draws stay a per-agent loop (the scalar RNG order), everything
+        # else is batched over agents.
+        half = batch_size * n
+        pair_rows = self._actor_rows_pair(batch["next_obs"], batch["obs"])
+        if self._fast_actor is not None:
+            flat_logits, pair_acts, pair_masks = _relu_mlp_fwd(
+                pair_rows[0], self._fast_actor
+            )
+            pair_cache = None
+        else:
+            pair_logits, pair_cache = self.actor_family.forward_cached(pair_rows)
+            flat_logits = pair_logits[0]
+        next_logits = flat_logits[:half].reshape(n, batch_size, num_actions)
+        logits_all = flat_logits[half:].reshape(n, batch_size, num_actions)
+        next_act_am, next_row_log, _ = self._sample_rows(next_logits, algo._rng)
+        next_actions = next_act_am.T  # (B, A)
+        next_log_probs = (
+            next_row_log.reshape(n * batch_size, -1)[flat_idx, next_act_am.ravel()]
+            .reshape(n, batch_size)
+            .T.astype(dtype, copy=False)
+        )  # (B, A)
+
+        # --- Critic step: TD targets via the fused no-grad target forward,
+        # fused forward + closed-form attention VJP, flat-buffer clip, one
+        # Adam step over all critic parameters (gradients written straight
+        # into the optimiser's bound flat buffer).
+        target_rows, _ = self._critic_forward(
+            batch["next_obs"], next_actions, target=True
+        )
+        obs_arr = np.asarray(batch["obs"], dtype=dtype)
+        sa_arr = np.concatenate(
+            [obs_arr, one_hot(batch["actions"], num_actions, dtype=dtype)],
+            axis=-1,
+        )
+        main_inputs = (obs_arr, sa_arr)
+        rows, cache = self._critic_forward(
+            batch["obs"], batch["actions"], inputs=main_inputs
+        )
+        action_idx = np.asarray(batch["actions"], dtype=np.int64)
+        target_q = target_rows.reshape(batch_size * n, -1)[
+            flat_idx, next_actions.ravel()
+        ].reshape(batch_size, n)
+        soft_target = target_q - algo.alpha * next_log_probs
+        y = (
+            batch["rewards"]
+            + algo.gamma * (1.0 - batch["dones"])[:, None] * soft_target
+        )
+        q_chosen = rows.reshape(batch_size * n, -1)[
+            flat_idx, action_idx.ravel()
+        ].reshape(batch_size, n)
+        diff = q_chosen - y  # (B, A)
+        critic_loss = float((diff * diff).mean(axis=0).sum())
+        grad_rows = np.zeros_like(rows)
+        grad_rows.reshape(batch_size * n, -1)[flat_idx, action_idx.ravel()] = (
+            ((2.0 / batch_size) * diff).astype(dtype, copy=False).ravel()
+        )
+        self.critic_opt.bind_grads()
+        self._critic_backward(cache, grad_rows)
+        # Every critic grad lives in the bound flat buffer, so the global
+        # clip is one dot + one scale (tolerance-level vs the per-param
+        # reduction, like the other fused paths).
+        clip_grad_norm_flat(self.critic_opt._grad, algo.grad_clip)
+        self.critic_opt.step()
+
+        # --- Actor step: fresh post-step Q rows (data only, so the main
+        # critic's no-grad infer kernels) feed the entropy-regularised
+        # counterfactual advantage; one stacked actor forward/backward
+        # replaces the per-agent tape loop, and only the categorical draws
+        # remain per-agent (RNG order).
+        q_rows, _ = self._critic_forward(
+            batch["obs"], batch["actions"], need_grad=False, inputs=main_inputs
+        )
+        sampled, log_probs, probs = self._sample_rows(logits_all, algo._rng)
+        log_probs = log_probs.astype(dtype, copy=False)  # (A, B, |A|)
+        probs = probs.astype(dtype, copy=False)
+        q_agent_major = q_rows.transpose(1, 0, 2)  # (A, B, |A|)
+        baseline = (probs * q_agent_major).sum(axis=-1)  # (A, B)
+        # Rows of the (B·A)-flat Q table in agent-major order.
+        am_rows = flat_idx.reshape(batch_size, n).T
+        advantage = (
+            q_rows.reshape(batch_size * n, -1)[am_rows, sampled] - baseline
+        )
+        chosen_log = log_probs.reshape(n * batch_size, -1)[
+            flat_idx, sampled.ravel()
+        ].reshape(n, batch_size)
+        target_term = advantage - algo.alpha * chosen_log  # (A, B)
+        actor_loss = float(-(chosen_log * target_term).mean(axis=1).sum())
+        entropy_total = float(-(probs * log_probs).sum(axis=-1).mean(axis=1).sum())
+        # Score-function gradient: target_term is detached, so d/dlogits of
+        # -(1/B) sum(chosen_log * tt) is -(1/B) tt * (onehot(sampled) - probs),
+        # assembled as the dense ``probs`` term plus a scatter-add at the
+        # sampled entries (no one-hot materialisation).
+        coeff = ((-1.0 / batch_size) * target_term).astype(dtype, copy=False)
+        grad_logits = probs * (-coeff)[:, :, None]
+        grad_logits.reshape(n * batch_size, -1)[
+            flat_idx, sampled.ravel()
+        ] += coeff.ravel()
+        self.actor_opt.bind_grads()
+        if self._fast_actor is not None:
+            # Backward over the replay-time half only (tail slices stay
+            # contiguous views); the next-step half's gradient is zero.
+            _relu_mlp_bwd(
+                [a[half:] for a in pair_acts],
+                [m[half:] for m in pair_masks],
+                grad_logits.reshape(n * batch_size, -1),
+                self._fast_actor,
+                self._ones_rows,
+            )
+        else:
+            # Restrict the paired cache to its replay-time half so the
+            # backward's GEMMs only see the rows whose gradient is nonzero.
+            actor_cache = []
+            for entry in pair_cache:
+                if entry[0] == "lin":
+                    actor_cache.append(("lin", entry[1], entry[2][:, half:]))
+                elif entry[0] == "leaky":
+                    actor_cache.append(("leaky", entry[1][:, half:], entry[2]))
+                else:
+                    actor_cache.append((entry[0], entry[1][:, half:]))
+            self.actor_family.backward_cached(
+                actor_cache, grad_logits.reshape(1, n * batch_size, -1)
+            )
+        clip_grad_norm_flat(self.actor_opt._grad, algo.grad_clip)
+        self.actor_opt.step()
+
+        # Polyak step over the aligned flat buffers: elementwise identical
+        # to nn.soft_update's per-parameter lerp (two whole-buffer vector
+        # ops instead of a module-tree walk).
+        tau = algo.tau
+        self._target_flat *= 1.0 - tau
+        self._target_flat += tau * self.critic_opt._flat
+        return {
+            "critic_loss": critic_loss,
+            "actor_loss": actor_loss,
+            "entropy": entropy_total / n,
+        }
+
+
 class _DelegatingEngine:
     """Fallback for algorithms without an architecture-aligned fused path.
 
-    COMA trains on whole variable-length episodes, and MADDPG/MAAC couple
-    actor gradients through centralized critics — neither stacks into one
-    family forward.  Their updates still benefit from the flat optimisers
-    and the fused Linear/backward in :mod:`repro.nn`, so the engine simply
-    delegates.
+    COMA trains on whole variable-length episodes, which never stack into
+    one fixed-shape family forward.  Its update still benefits from the
+    flat optimisers and the fused Linear/backward in :mod:`repro.nn`, so
+    the engine simply delegates.
     """
 
     def __init__(self, algorithm):
@@ -1096,6 +2358,8 @@ class UpdateEngine:
     def __init__(self, target):
         from ..baselines.base import MARLAlgorithm
         from ..baselines.idqn import IndependentDQN
+        from ..baselines.maac import MAAC
+        from ..baselines.maddpg import MADDPG
         from .hero import HeroTeam
         from .low_level import SACAgent
 
@@ -1105,6 +2369,10 @@ class UpdateEngine:
             self._impl = SACUpdateEngine(target)
         elif isinstance(target, IndependentDQN):
             self._impl = IDQNUpdateEngine(target)
+        elif isinstance(target, MADDPG):
+            self._impl = MADDPGUpdateEngine(target)
+        elif isinstance(target, MAAC):
+            self._impl = MAACUpdateEngine(target)
         elif isinstance(target, MARLAlgorithm):
             self._impl = _DelegatingEngine(target)
         else:

@@ -51,9 +51,8 @@ def one_hot(indices, num_classes: int, dtype=None) -> np.ndarray:
         indices.shape + (num_classes,),
         dtype=get_default_dtype() if dtype is None else dtype,
     )
-    np.put_along_axis(
-        out, indices[..., None], 1.0, axis=-1
-    )
+    flat = out.reshape(-1, num_classes)
+    flat[np.arange(flat.shape[0]), indices.reshape(-1)] = 1.0
     return out
 
 

@@ -77,6 +77,21 @@ def _train_idqn(dtype=None):
     return trained.logger
 
 
+def _train_fused_baseline(name, dtype=None):
+    """A fused-engine baseline run; returns the full TrainedMethod."""
+    ctx = default_dtype(dtype) if dtype else _null_context()
+    with ctx:
+        return train_baseline_method(
+            name,
+            SCENARIO,
+            RewardConfig(),
+            episodes=3,
+            seed=0,
+            fused_updates=True,
+            batch_size=16,
+        )
+
+
 class _null_context:
     def __enter__(self):
         return None
@@ -227,6 +242,22 @@ class TestEndToEndEquivalence:
             _train_idqn("float64"), _train_idqn("float32"), EPISODE_REWARD_ATOL
         )
 
+    @pytest.mark.parametrize("name", ["maddpg", "maac"])
+    def test_cross_family_fused(self, name):
+        """--fused-updates --dtype float32 composes for the cross-family
+        VJP engines (MADDPG/MAAC) under the same end-to-end bound."""
+        _assert_logs_close(
+            _train_fused_baseline(name, "float64").logger,
+            _train_fused_baseline(name, "float32").logger,
+            EPISODE_REWARD_ATOL,
+        )
+
+    @pytest.mark.parametrize("name", ["maddpg", "maac"])
+    def test_cross_family_fused_float32_never_upcasts(self, name):
+        trained = _train_fused_baseline(name, "float32")
+        for key, value in trained.controller.state_dict().items():
+            assert value.dtype == np.float32, key
+
 
 # ---------------------------------------------------------------------------
 # The float64 default is the seed, bit for bit
@@ -242,6 +273,13 @@ class TestFloat64SeedLock:
 
     def test_idqn_default_matches_explicit_float64_bitwise(self):
         _assert_logs_equal(_train_idqn(None), _train_idqn("float64"))
+
+    @pytest.mark.parametrize("name", ["maddpg", "maac"])
+    def test_cross_family_fused_default_matches_float64_bitwise(self, name):
+        _assert_logs_equal(
+            _train_fused_baseline(name, None).logger,
+            _train_fused_baseline(name, "float64").logger,
+        )
 
 
 # ---------------------------------------------------------------------------

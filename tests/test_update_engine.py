@@ -450,15 +450,197 @@ class TestFusedEngineEquivalence:
                     err_msg=f"{agent_id}.{name}",
                 )
 
-    def test_delegating_engine_for_unfusable_baselines(self):
+    def test_maddpg_update(self):
+        scalar, fused = _make_joint_baseline("maddpg"), _make_joint_baseline("maddpg")
+        engine = UpdateEngine(fused)
+        from repro.core.update_engine import MADDPGUpdateEngine
+
+        assert isinstance(engine._impl, MADDPGUpdateEngine)  # no delegation
+        for step in range(6):
+            losses_scalar = scalar.update()
+            losses_fused = engine.update()
+            assert set(losses_scalar) == set(losses_fused)
+            for key in losses_scalar:
+                assert np.isclose(
+                    losses_scalar[key], losses_fused[key], rtol=1e-6, atol=1e-9
+                ), (step, key)
+        state_scalar, state_fused = scalar.state_dict(), fused.state_dict()
+        for key in state_scalar:
+            np.testing.assert_allclose(
+                state_scalar[key], state_fused[key], rtol=1e-6, atol=1e-9,
+                err_msg=key,
+            )
+
+    def test_maac_update(self):
+        scalar, fused = _make_joint_baseline("maac"), _make_joint_baseline("maac")
+        engine = UpdateEngine(fused)
+        from repro.core.update_engine import MAACUpdateEngine
+
+        assert isinstance(engine._impl, MAACUpdateEngine)  # no delegation
+        for step in range(6):
+            losses_scalar = scalar.update()
+            losses_fused = engine.update()
+            assert set(losses_scalar) == set(losses_fused)
+            for key in losses_scalar:
+                assert np.isclose(
+                    losses_scalar[key], losses_fused[key], rtol=1e-6, atol=1e-9
+                ), (step, key)
+        state_scalar, state_fused = scalar.state_dict(), fused.state_dict()
+        for key in state_scalar:
+            np.testing.assert_allclose(
+                state_scalar[key], state_fused[key], rtol=1e-6, atol=1e-9,
+                err_msg=key,
+            )
+
+    def test_delegating_engine_for_coma(self):
+        """COMA (variable-length episodes) is the only remaining delegation."""
         env = make_baseline_env(scenario=ScenarioConfig(episode_length=12))
         algo = make_baseline("coma", env, seed=0)
         engine = UpdateEngine(algo)
+        from repro.core.update_engine import _DelegatingEngine
+
+        assert isinstance(engine._impl, _DelegatingEngine)
         assert engine.update() is None  # no episodes queued -> delegates
 
     def test_rejects_unknown_targets(self):
         with pytest.raises(TypeError):
             UpdateEngine(object())
+
+
+def _make_joint_baseline(name, seed=0, batch_size=64, fill_seed=3, steps=400):
+    """A MADDPG/MAAC instance with a deterministically filled joint buffer."""
+    env = make_baseline_env(scenario=ScenarioConfig(episode_length=12))
+    algo = make_baseline(name, env, seed=seed, batch_size=batch_size)
+    fill = RNG(fill_seed)
+    n, obs_dim, num_actions = algo.num_agents, algo.obs_dim, algo.num_actions
+    algo.buffer.push_batch(
+        fill.standard_normal((steps, n, obs_dim)),
+        fill.integers(0, num_actions, (steps, n)),
+        fill.standard_normal((steps, n)),
+        fill.standard_normal((steps, n, obs_dim)),
+        fill.uniform(size=steps) < 0.1,
+    )
+    return algo
+
+
+class TestMAACInferPath:
+    """The no-grad TD-target kernels leave the default path bitwise intact."""
+
+    def test_infer_bitwise_equals_forward(self):
+        algo = _make_joint_baseline("maac")
+        fill = RNG(11)
+        obs = fill.standard_normal((17, algo.num_agents, algo.obs_dim)).astype(
+            algo.buffer.obs.dtype
+        )
+        actions = fill.integers(0, algo.num_actions, (17, algo.num_agents))
+        tape_rows = algo.critic(obs, actions)
+        infer_rows = algo.critic.infer(obs, actions)
+        for i in range(algo.num_agents):
+            assert infer_rows[i].dtype == tape_rows[i].data.dtype
+            np.testing.assert_array_equal(infer_rows[i], tape_rows[i].data)
+
+    def test_default_update_bitwise_vs_tape_targets(self):
+        """MAAC.update == the pre-infer build (tape TD targets), bit for bit."""
+        current, reference = _make_joint_baseline("maac"), _make_joint_baseline("maac")
+        for _ in range(3):
+            losses_current = current.update()
+            losses_reference = _maac_update_tape_targets(reference)
+            assert losses_current == losses_reference
+        state_current, state_reference = current.state_dict(), reference.state_dict()
+        for key in state_current:
+            np.testing.assert_array_equal(
+                state_current[key], state_reference[key], err_msg=key
+            )
+
+
+def _maac_update_tape_targets(algo):
+    """``MAAC.update`` as built before the infer swap: TD-target rows from
+    the tape forward (nodes built, never backpropped).  Kept verbatim as the
+    bitwise reference for the default path."""
+    from repro.nn import (
+        Tensor,
+        clip_grad_norm,
+        entropy_from_logits,
+        mse_loss,
+        sample_categorical,
+        soft_update,
+    )
+    from repro.nn.functional import log_softmax
+    from repro.baselines.maac import _logsumexp_rows
+
+    if len(algo.buffer) < max(algo.batch_size // 4, 8):
+        return None
+    batch = algo.buffer.sample(algo.batch_size, algo._rng)
+    batch_size = len(batch["dones"])
+    n = algo.num_agents
+
+    next_actions = np.zeros((batch_size, n), dtype=np.int64)
+    next_log_probs = np.zeros((batch_size, n))
+    for i in range(n):
+        logits = algo.actor.logits_inference(
+            algo._actor_input(batch["next_obs"][:, i], i)
+        )
+        next_actions[:, i] = sample_categorical(logits, algo._rng)
+        row_log_probs = logits - _logsumexp_rows(logits)
+        next_log_probs[:, i] = np.take_along_axis(
+            row_log_probs, next_actions[:, i][:, None], axis=-1
+        )[:, 0]
+
+    target_rows = algo.target_critic(batch["next_obs"], next_actions)
+    critic_rows = algo.critic(batch["obs"], batch["actions"])
+
+    critic_loss_total = None
+    for i in range(n):
+        target_q = np.take_along_axis(
+            target_rows[i].data, next_actions[:, i][:, None], axis=-1
+        )[:, 0]
+        soft_target = target_q - algo.alpha * next_log_probs[:, i]
+        y = batch["rewards"][:, i] + algo.gamma * (1.0 - batch["dones"]) * soft_target
+        q_chosen = critic_rows[i].gather(
+            batch["actions"][:, i][:, None], axis=-1
+        ).squeeze(-1)
+        loss = mse_loss(q_chosen, y)
+        critic_loss_total = (
+            loss if critic_loss_total is None else critic_loss_total + loss
+        )
+
+    algo.critic_opt.zero_grad()
+    critic_loss_total.backward()
+    clip_grad_norm(algo.critic.parameters(), algo.grad_clip)
+    algo.critic_opt.step()
+
+    q_rows_data = [row.data for row in algo.critic(batch["obs"], batch["actions"])]
+    actor_loss_total = None
+    entropy_total = 0.0
+    for i in range(n):
+        logits = algo.actor.forward(algo._actor_input(batch["obs"][:, i], i))
+        log_probs = log_softmax(logits, axis=-1)
+        probs = np.exp(log_probs.data)
+        q_data = q_rows_data[i]
+        baseline = (probs * q_data).sum(axis=-1)
+        sampled = sample_categorical(logits.data, algo._rng)
+        advantage = (
+            np.take_along_axis(q_data, sampled[:, None], axis=-1)[:, 0] - baseline
+        )
+        chosen_log_probs = log_probs.gather(sampled[:, None], axis=-1).squeeze(-1)
+        target_term = advantage - algo.alpha * chosen_log_probs.data
+        loss = -(chosen_log_probs * Tensor(target_term)).mean()
+        actor_loss_total = (
+            loss if actor_loss_total is None else actor_loss_total + loss
+        )
+        entropy_total += float(entropy_from_logits(logits).mean().data)
+
+    algo.actor_opt.zero_grad()
+    actor_loss_total.backward()
+    clip_grad_norm(algo.actor.parameters(), algo.grad_clip)
+    algo.actor_opt.step()
+
+    soft_update(algo.target_critic, algo.critic, algo.tau)
+    return {
+        "critic_loss": critic_loss_total.item(),
+        "actor_loss": actor_loss_total.item(),
+        "entropy": entropy_total / n,
+    }
 
 
 class TestFusedTrainingEndToEnd:
@@ -506,6 +688,50 @@ class TestFusedTrainingEndToEnd:
         default = run(False)
         fused = run(True)
         for metric in ("idqn/episode_reward", "idqn/vehicle_0/q_loss"):
+            default_series = default.values(metric)
+            assert len(default_series), f"{metric} never logged"
+            np.testing.assert_allclose(
+                default_series,
+                fused.values(metric),
+                rtol=1e-4,
+                atol=1e-6,
+                err_msg=metric,
+            )
+
+    def test_maddpg_few_episodes(self):
+        def run(fused):
+            env = make_baseline_env(scenario=ScenarioConfig(episode_length=10))
+            algo = make_baseline("maddpg", env, seed=5, batch_size=16)
+            logger = train_marl(
+                env, algo, episodes=5, seed=5, eval_every=0, fused_updates=fused
+            )
+            return logger
+
+        default = run(False)
+        fused = run(True)
+        for metric in ("maddpg/episode_reward", "maddpg/vehicle_0/critic_loss"):
+            default_series = default.values(metric)
+            assert len(default_series), f"{metric} never logged"
+            np.testing.assert_allclose(
+                default_series,
+                fused.values(metric),
+                rtol=1e-4,
+                atol=1e-6,
+                err_msg=metric,
+            )
+
+    def test_maac_few_episodes(self):
+        def run(fused):
+            env = make_baseline_env(scenario=ScenarioConfig(episode_length=10))
+            algo = make_baseline("maac", env, seed=5, batch_size=16)
+            logger = train_marl(
+                env, algo, episodes=5, seed=5, eval_every=0, fused_updates=fused
+            )
+            return logger
+
+        default = run(False)
+        fused = run(True)
+        for metric in ("maac/episode_reward", "maac/critic_loss"):
             default_series = default.values(metric)
             assert len(default_series), f"{metric} never logged"
             np.testing.assert_allclose(

@@ -58,6 +58,15 @@ EXEMPTIONS: dict[tuple[str, str], str] = {
     ("src/repro/core/update_engine.py", "return np.dtype(np.float64)"): (
         "family_dtype fallback for an empty family (no parameters to read)"
     ),
+    (
+        "src/repro/core/update_engine.py",
+        "logits64 = np.asarray(logits_all, dtype=np.float64)",
+    ): (
+        "the fused MAAC sampler mirrors nn.functional.sample_categorical: "
+        "float64 softmax/cumsum against float64 RNG draws keeps the sampled "
+        "actions bitwise-faithful to the scalar path; float32 members cast "
+        "the reused log-probs/probs back down at the point of use"
+    ),
     ("src/repro/core/hero.py", "np.asarray(action, dtype=np.float64)"): (
         "physics command handed to the simulator; env state is float64 "
         "at any compute dtype (see envs/vector_env.py)"
